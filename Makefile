@@ -1,0 +1,24 @@
+# Convenience targets for the scatter-add reproduction.
+
+.PHONY: install test bench bench-full examples figures clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:            ## paper-scale traces everywhere (slow)
+	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+figures:               ## regenerate every experiment table into results/
+	python -m repro run all --out-dir results/
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -1,0 +1,50 @@
+"""Ablation: sort&scan batch size (the paper reports 256 as optimal).
+
+Sweeps the software scatter-add batch size.  Short batches fail to
+amortise stream-op start-up; long batches pay the O(n log n) sort growth
+and merge-pass memory round-trips.  Our cost model's optimum sits near
+the paper's 256 (within a factor of ~4; see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from repro.harness.report import ExperimentResult
+from repro import MachineConfig
+from repro.software import SortScanScatterAdd
+
+
+def run_ablation():
+    rng = np.random.default_rng(0)
+    indices = rng.integers(0, 2048, size=8192)
+    config = MachineConfig.table1()
+    rows = []
+    for batch in (32, 64, 128, 256, 512, 1024, 4096):
+        run = SortScanScatterAdd(config, batch=batch).run(
+            indices, 1.0, num_targets=2048)
+        rows.append({
+            "batch": batch,
+            "time_us": run.microseconds,
+            "cycles_per_elem": run.cycles / len(indices),
+        })
+    return ExperimentResult(
+        "ablation_batch",
+        "Sort&scan batch-size sweep (n=8192, range 2048)",
+        ["batch", "time_us", "cycles_per_elem"],
+        rows,
+        notes="paper: 256 optimal; small batches lose to stream-op "
+              "overhead, large ones to O(n log n) sorting",
+    )
+
+
+def test_ablation_batch(benchmark, record):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record(result)
+
+    times = dict(zip(result.column("batch"), result.column("time_us")))
+    best = min(times, key=times.get)
+    # Tiny batches are clearly bad (start-up overhead dominates).
+    assert times[32] > 1.5 * times[best]
+    # The optimum is an interior point in the paper's neighbourhood.
+    assert 128 <= best <= 1024
+    # Very large batches trend worse than the optimum.
+    assert times[4096] > times[best]

@@ -1,0 +1,56 @@
+"""Ablation: prefix-sum strategies on the scatter-add hardware.
+
+Quantifies the Section 5 future-work motivation: the naive fetch-add
+chain computes a scan correctly but serialises at the FU latency, while
+the blocked hybrid (SRF-local scans + one fetch-add per block) gets
+within a small factor of a pure-kernel scan -- the gap a dedicated
+hardware scan path would close.
+"""
+
+import numpy as np
+
+from repro.harness.report import ExperimentResult
+from repro import MachineConfig
+from repro.core.scan import blocked_prefix_sum, fetch_add_prefix_sum
+
+
+def run_ablation():
+    config = MachineConfig.table1()
+    rng = np.random.default_rng(0)
+    rows = []
+    for count in (512, 2048, 8192):
+        values = rng.standard_normal(count)
+        expected = np.cumsum(values) - values
+        naive = fetch_add_prefix_sum(values, config)
+        blocked = blocked_prefix_sum(values, config, block=256)
+        assert np.allclose(naive.exclusive, expected, atol=1e-9)
+        assert np.allclose(blocked.exclusive, expected, atol=1e-9)
+        rows.append({
+            "n": count,
+            "chain_us": config.cycles_to_us(naive.cycles),
+            "blocked_us": config.cycles_to_us(blocked.cycles),
+            "speedup": round(naive.cycles / blocked.cycles, 1),
+        })
+    return ExperimentResult(
+        "ablation_scan",
+        "Prefix sum: fetch-add chain vs blocked hybrid",
+        ["n", "chain_us", "blocked_us", "speedup"],
+        rows,
+        notes="the chain pays ~fu_latency per element; blocking leaves "
+              "one atomic per 256 elements",
+    )
+
+
+def test_ablation_scan(benchmark, record):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record(result)
+
+    speedups = result.column("speedup")
+    # Blocking wins, and wins more as n grows (chain is strictly serial).
+    assert speedups[0] > 2
+    assert speedups[-1] >= speedups[0]
+    # The chain's per-element cost is at least the FU latency.
+    chain = result.column("chain_us")
+    counts = result.column("n")
+    config = MachineConfig.table1()
+    assert chain[-1] * 1000 >= counts[-1] * config.fu_latency

@@ -1,0 +1,30 @@
+"""Figure 11: sensitivity to combining-store size and memory/FU latency.
+
+Uniform memory (1 word / 2 cycles), n = 512 over 65,536 bins.  Paper
+shape: with 16 entries performance no longer depends on ALU latency and
+is almost independent of memory latency; with 64 entries even 256-cycle
+memory latency is tolerated.
+"""
+
+from repro.harness import figure11
+
+
+def test_figure11(benchmark, record):
+    result = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    record(result)
+
+    rows = {row["entries"]: row for row in result.rows}
+
+    # 2 entries: fully exposed to memory latency (super-linear slowdown).
+    assert rows[2]["mem256_us"] > 8 * rows[2]["mem8_us"]
+    # 16 entries: FU latency hidden.
+    assert rows[16]["fu16_us"] < 1.1 * rows[16]["fu2_us"]
+    # 16 entries: memory latency mostly hidden up to 64 cycles.
+    assert rows[16]["mem64_us"] < 1.5 * rows[16]["mem8_us"]
+    # 64 entries: even 256-cycle latency tolerated (within ~30%).
+    assert rows[64]["mem256_us"] < 1.4 * rows[64]["mem8_us"]
+    # More entries never hurt.
+    for column in result.columns[1:]:
+        series = result.column(column)
+        assert series == sorted(series, reverse=True) or \
+            max(series) < 1.05 * min(series)

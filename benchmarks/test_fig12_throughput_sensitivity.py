@@ -1,0 +1,25 @@
+"""Figure 12: sensitivity to memory throughput and combining-store size.
+
+Paper shape: with 65,536 bins, low bandwidth bounds performance no matter
+how large the store is; with 16 bins the combining store captures most
+requests in-flight and tolerates low bandwidth.
+"""
+
+from repro.harness import figure12
+
+
+def test_figure12(benchmark, record):
+    result = benchmark.pedantic(figure12, rounds=1, iterations=1)
+    record(result)
+
+    rows = {row["entries"]: row for row in result.rows}
+
+    # Wide range at the slowest memory: store size barely helps.
+    assert rows[64]["r65536_i16_us"] > 0.9 * rows[2]["r65536_i16_us"]
+    # Wide range: bandwidth is the wall (16x interval -> >3x slower).
+    assert rows[64]["r65536_i16_us"] > 3 * rows[64]["r65536_i1_us"]
+    # Narrow range: combining rescues low bandwidth (64-entry store much
+    # faster than 2-entry at the slowest memory).
+    assert rows[64]["r16_i16_us"] < 0.35 * rows[2]["r16_i16_us"]
+    # Narrow beats wide at every design point with a big store.
+    assert rows[64]["r16_i16_us"] < rows[64]["r65536_i16_us"]

@@ -1,0 +1,44 @@
+"""Figure 13: multi-node scatter-add throughput, 1-8 nodes.
+
+Ten series: narrow/wide histogram under high/low network bandwidth with
+and without cache combining, plus GROMACS and SPAS traces with combining.
+Paper shape: narrow-high scales ~7.1x at 8 nodes; narrow-low does not
+scale; combining recovers scaling on the low-bandwidth network; combining
+*hurts* the wide trace; GROMACS behaves like narrow, SPAS like wide.
+
+Trace sizes are scaled by REPRO_BENCH_SCALE (default 0.25) of the paper's
+64K/590K reference counts (SPAS always runs its full 38K stream); scaling
+preserves index ranges and locality, so the curve shapes are unaffected,
+though per-node fixed overheads (cache warm-up, flush) weigh more on
+short traces.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.harness import figure13
+
+
+def test_figure13(benchmark, record):
+    result = benchmark.pedantic(
+        figure13, kwargs={"scale": bench_scale()}, rounds=1, iterations=1,
+    )
+    record(result)
+
+    first = result.rows[0]   # 1 node
+    last = result.rows[-1]   # 8 nodes
+
+    # narrow-high scales strongly (paper: 7.1x at 8 nodes).
+    assert last["narrow-high"] > 4 * first["narrow-high"]
+    # narrow-low does not scale.
+    assert last["narrow-low"] < 2 * first["narrow-low"]
+    # combining recovers low-bandwidth scaling (paper: 5.7x).
+    assert last["narrow-low-comb"] > 2 * first["narrow-low-comb"]
+    assert last["narrow-low-comb"] > 1.5 * last["narrow-low"]
+    # the wide trace scales with bandwidth...
+    assert last["wide-high"] > 4 * first["wide-high"]
+    # ...but combining hurts it ("actually reduce performance").
+    assert last["wide-low-comb"] < last["wide-low"]
+    # GROMACS (high locality) benefits from combining and scales.
+    assert last["gromacs-high-comb"] > 1.2 * first["gromacs-high-comb"]
+    # Higher network bandwidth only helps the combined traces.
+    assert last["gromacs-high-comb"] >= 0.9 * last["gromacs-low-comb"]
+    assert last["spas-high-comb"] >= 0.9 * last["spas-low-comb"]

@@ -1,0 +1,23 @@
+"""Figure 6: histogram execution time vs input length (range 2,048).
+
+Paper shape: both methods O(n); hardware scatter-add wins by 3:1 at small
+inputs growing to ~11:1 at 8,192 elements.
+"""
+
+from repro.harness import figure6
+
+
+def test_figure6(benchmark, record):
+    result = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    record(result)
+
+    speedups = result.column("speedup")
+    # Hardware always wins, and the advantage grows with input length.
+    assert min(speedups) > 1.0
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 5.0  # paper: up to 11:1
+    # Both methods scale O(n): 32x input within ~6..40x time.
+    hw = result.column("scatter_add_us")
+    sw = result.column("sort_scan_us")
+    assert hw[-1] / hw[0] < 32
+    assert 8 < sw[-1] / sw[0] < 40

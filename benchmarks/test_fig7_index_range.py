@@ -1,0 +1,26 @@
+"""Figure 7: histogram execution time vs index range (n = 32,768).
+
+Paper shape: hot-bank penalty at tiny ranges, a broad minimum in the
+middle, and a sharp degradation to a plateau once the bins no longer fit
+in the 1 MB stream cache.  Sort&scan is roughly flat across ranges.
+"""
+
+from repro.harness import figure7
+
+
+def test_figure7(benchmark, record):
+    result = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    record(result)
+
+    ranges = result.column("range")
+    hw = dict(zip(ranges, result.column("scatter_add_us")))
+    sw = dict(zip(ranges, result.column("sort_scan_us")))
+
+    # Hot bank: range 1 is much slower than the sweet spot.
+    assert hw[1] > 4 * hw[256]
+    # Cache-capacity cliff: 1M bins much slower than 16K (cache resident).
+    assert hw[1 << 20] > 2 * hw[16384]
+    # Plateau: 4M within 25% of 1M.
+    assert abs(hw[4 << 20] - hw[1 << 20]) < 0.25 * hw[1 << 20]
+    # Software is flat by comparison.
+    assert max(sw.values()) < 1.5 * min(sw.values())

@@ -1,0 +1,30 @@
+"""Figure 8: histogram, hardware scatter-add vs software privatization.
+
+Paper shape: privatization is O(m*n), so the hardware advantage grows
+with the index range, exceeding an order of magnitude at large ranges.
+"""
+
+from repro.harness import figure8
+
+
+def test_figure8(benchmark, record):
+    result = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    record(result)
+
+    by_length = {}
+    for row in result.rows:
+        by_length.setdefault(row["n"], []).append(row)
+
+    for length, rows in by_length.items():
+        speedups = [row["speedup"] for row in rows]
+        # Advantage grows monotonically with range...
+        assert speedups == sorted(speedups), length
+        # ...and exceeds an order of magnitude at range 8,192.
+        assert speedups[-1] > 10
+
+    # Privatization time is linear in the range (O(m*n)).
+    rows = by_length[32768]
+    first, last = rows[0], rows[-1]
+    range_ratio = last["range"] / first["range"]
+    time_ratio = last["privatization_us"] / first["privatization_us"]
+    assert range_ratio / 2 < time_ratio < range_ratio * 2

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Design-space exploration: sizing the scatter-add hardware.
+
+Uses the sweep utilities to answer the questions a hardware architect
+would ask before committing the paper's Table 1 design: how many
+combining-store entries are enough, how does performance track the
+number of banks/units, and what does each point cost in die area?
+
+Run:  python examples/design_space.py
+"""
+
+import numpy as np
+
+from repro import AreaModel, MachineConfig, simulate_scatter_add
+from repro.harness.sweep import grid_sweep, sweep
+
+RNG = np.random.default_rng(0)
+TRACE = RNG.integers(0, 8192, size=8192)
+
+
+def measure(config):
+    run = simulate_scatter_add(TRACE, 1.0, num_targets=8192, config=config)
+    area = AreaModel(
+        units=config.cache_banks * config.scatter_add_units_per_bank,
+        combining_store_entries=config.combining_store_entries,
+    )
+    return {
+        "time_us": run.microseconds,
+        "adds_per_cycle": round(len(TRACE) / run.cycles, 3),
+        "area_mm2": round(area.total_area_mm2, 3),
+        "die_pct": round(100 * area.die_fraction, 2),
+    }
+
+
+def main():
+    base = MachineConfig.table1()
+
+    print(sweep(base, "combining_store_entries", (2, 4, 8, 16, 32, 64),
+                measure, exp_id="cs_sweep",
+                title="Combining-store sizing (8192 adds, range 8192)"
+                ).render())
+    print()
+    print(grid_sweep(base,
+                     {"cache_banks": (2, 4, 8),
+                      "scatter_add_units_per_bank": (1, 2)},
+                     measure, exp_id="unit_grid",
+                     title="Bank / unit-count grid").render())
+    print()
+    print("Table 1's choice (8 banks x 1 unit, 8 entries) sits at the "
+          "knee:\nmore entries or units buy little for this workload, "
+          "fewer cost real time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Jacobi iteration on the FEM operator: SpMV-per-step with scatter-add.
+
+Shows the library in a downstream role: an iterative solver whose inner
+kernel is the element-by-element sparse matrix-vector product that
+hardware scatter-add makes profitable (Figure 9).  Each Jacobi step
+performs one EBE SpMV; the example runs the solve functionally, verifies
+convergence, and prices the per-iteration cost on the simulated machine
+for both the EBE+scatter-add and CSR formulations.
+
+Run:  python examples/iterative_solver.py
+"""
+
+import numpy as np
+
+from repro import MachineConfig
+from repro.workloads.fem import build_tet_mesh
+from repro.workloads.spmv import SpMVWorkload
+
+
+def jacobi(indptr, indices, data, b, iterations=25):
+    """Plain Jacobi: x <- x + D^-1 (b - A x); returns x and residuals."""
+    n = len(b)
+    diagonal = np.zeros(n)
+    for row in range(n):
+        for position in range(indptr[row], indptr[row + 1]):
+            if indices[position] == row:
+                diagonal[row] = data[position]
+    x = np.zeros(n)
+    residuals = []
+    for _ in range(iterations):
+        products = data * x[indices]
+        ax = np.add.reduceat(products, indptr[:-1])
+        ax[indptr[:-1] == indptr[1:]] = 0.0
+        residual = b - ax
+        residuals.append(float(np.linalg.norm(residual)))
+        x = x + residual / diagonal
+    return x, residuals
+
+
+def main():
+    mesh = build_tet_mesh(4, 4, 2)
+    workload = SpMVWorkload(mesh)
+    config = MachineConfig.table1()
+
+    rng = np.random.default_rng(1)
+    x_true = rng.standard_normal(workload.rows)
+    products = workload.data * x_true[workload.indices]
+    b = np.add.reduceat(products, workload.indptr[:-1])
+    b[workload.indptr[:-1] == workload.indptr[1:]] = 0.0
+
+    print("Solving A x = b on the FEM operator (%d DOF, %.1f nnz/row) "
+          "with Jacobi\n" % (workload.rows,
+                             workload.nnz / workload.rows))
+
+    x, residuals = jacobi(workload.indptr, workload.indices,
+                          workload.data, b, iterations=30)
+    print("residual: %.3e -> %.3e over %d iterations"
+          % (residuals[0], residuals[-1], len(residuals)))
+    assert residuals[-1] < 1e-3 * residuals[0], "Jacobi failed to converge"
+    error = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
+    print("relative solution error: %.2e\n" % error)
+
+    # Price one SpMV (the solver's inner loop) on the simulated machine.
+    ebe = workload.run_ebe_hardware(config)
+    csr = workload.run_csr(config)
+    iterations = len(residuals)
+    print("per-iteration SpMV cost on the Table 1 machine:")
+    print("  EBE + HW scatter-add: %7d cycles" % ebe.cycles)
+    print("  CSR (gather only):    %7d cycles" % csr.cycles)
+    print("whole solve (%d iterations): %.1f us vs %.1f us -> "
+          "scatter-add saves %.0f%%"
+          % (iterations,
+             config.cycles_to_us(iterations * ebe.cycles),
+             config.cycles_to_us(iterations * csr.cycles),
+             100 * (1 - ebe.cycles / csr.cycles)))
+
+
+if __name__ == "__main__":
+    main()

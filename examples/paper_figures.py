@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate and *draw* the paper's key figures as ASCII charts.
+
+Runs reduced-size versions of Figures 6, 7, 8 and 13 and renders each in
+the shape the paper plots it (log axes where the paper uses them), so the
+characteristic curves -- the O(n) lines, the hot-bank dip and cache
+cliff, the O(m*n) privatization blow-up, the multi-node scaling fan --
+can be eyeballed directly against the PDF.
+
+Run:  python examples/paper_figures.py          (~2 minutes)
+"""
+
+from repro.harness import figure6, figure7, figure8, figure13
+from repro.harness.figures import bar_chart, line_chart
+
+
+def main():
+    print("=" * 72)
+    result = figure6(sizes=(256, 512, 1024, 2048, 4096, 8192))
+    print(line_chart(result, "n", ["scatter_add_us", "sort_scan_us"],
+                     logx=True, logy=True))
+    print()
+
+    print("=" * 72)
+    result = figure7(length=16384,
+                     ranges=(1, 4, 16, 64, 256, 1024, 4096, 16384,
+                             65536, 262144, 1048576))
+    print(line_chart(result, "range",
+                     ["scatter_add_us", "sort_scan_us"], logx=True))
+    print()
+
+    print("=" * 72)
+    result = figure8(lengths=(1024,), ranges=(128, 512, 2048, 8192))
+    print(bar_chart(result, "range",
+                    ["scatter_add_us", "privatization_us"],
+                    logscale=True))
+    print()
+
+    print("=" * 72)
+    result = figure13(node_counts=(1, 2, 4, 8),
+                      series=(("narrow", 8, False), ("narrow", 1, False),
+                              ("narrow", 1, True)),
+                      scale=0.25)
+    print(line_chart(result, "nodes",
+                     ["narrow-high", "narrow-low", "narrow-low-comb"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Parallel queue allocation with the fetch-add extension (Section 3.3).
+
+The paper's proposed extension gives scatter-add a return path for the
+pre-update value -- a data-parallel Fetch&Op.  With it, a SIMD machine can
+build work queues in one pass: every element fetch-adds its destination
+queue's tail counter, receiving a unique dense slot, and then scatters
+itself there.  No sorting, no locks, no serialization.
+
+This example bins a stream of simulated "collision events" by energy
+band: the classic use in data-parallel compaction.
+
+Run:  python examples/parallel_queue.py
+"""
+
+import numpy as np
+
+from repro import MachineConfig, ParallelQueueAllocator
+
+BANDS = [(0.0, 1.0), (1.0, 2.5), (2.5, 5.0), (5.0, np.inf)]
+
+
+def main():
+    rng = np.random.default_rng(4)
+    events = rng.exponential(1.5, size=600)  # event energies
+    queue_ids = np.digitize(events, [hi for __, hi in BANDS[:-1]])
+
+    config = MachineConfig.table1()
+    allocator = ParallelQueueAllocator(config, num_queues=len(BANDS))
+    allocation, image = allocator.scatter_to_queues(
+        queue_ids, events, capacity=512)
+
+    print("Binning %d events into %d energy bands via parallel fetch-add\n"
+          % (len(events), len(BANDS)))
+    print("%-16s %8s   %s" % ("band (energy)", "count", "first few slots"))
+    for band, (lo, hi) in enumerate(BANDS):
+        count = int(allocation.counts[band])
+        label = "[%.1f, %s)" % (lo, "inf" if np.isinf(hi) else "%.1f" % hi)
+        sample = ", ".join("%.2f" % v for v in image[band][:5])
+        print("%-16s %8d   %s%s" % (label, count, sample,
+                                    " ..." if count > 5 else ""))
+
+    # Verify: every event landed exactly once, in the right band.
+    landed = []
+    for band in range(len(BANDS)):
+        count = int(allocation.counts[band])
+        values = image[band][:count]
+        lo, hi = BANDS[band]
+        assert ((values >= lo) & (values < hi)).all()
+        landed.extend(values)
+    assert sorted(landed) == sorted(events.tolist())
+
+    print("\nallocation + scatter took %d cycles (%.2f us); "
+          "every slot unique, every event placed once."
+          % (allocation.cycles, allocation.microseconds))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` (legacy
+editable install) on offline machines; configuration lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Address-partitioned banked stream cache.
+
+The stream cache of the Merrimac node acts as a bandwidth amplifier in
+front of DRAM (Section 3.1).  It is partitioned by address at line
+granularity across :class:`~repro.cache.bank.CacheBank` instances, each of
+which hosts one scatter-add unit in the base configuration (Figure 4a).
+
+For the multi-node cache-combining optimisation the banks additionally
+support *allocate-at-identity* misses and *sum-back* evictions
+(Section 3.2).
+"""
+
+from repro.cache.bank import CacheBank
+
+__all__ = ["CacheBank"]

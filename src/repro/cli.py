@@ -1,0 +1,173 @@
+"""Command-line interface: run experiments and quick simulations.
+
+Usage::
+
+    python -m repro list
+    python -m repro run figure6 [--out results/figure6.txt]
+    python -m repro run all --out-dir results/
+    python -m repro simulate --updates 4096 --range 2048 --method hardware
+    python -m repro area --units 8 --entries 8
+
+``run`` regenerates a paper experiment and prints its table; ``simulate``
+times a single scatter-add with the chosen implementation; ``area``
+prints the die-area estimate.
+"""
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.core.area import AreaModel
+
+#: Experiment name -> zero-argument callable (resolved lazily to keep CLI
+#: startup fast).
+EXPERIMENTS = (
+    "table1", "figure6", "figure7", "figure8", "figure9", "figure10",
+    "figure11", "figure12", "figure13",
+)
+
+
+def _experiment(name):
+    import repro.harness as harness
+
+    try:
+        return getattr(harness, name)
+    except AttributeError:
+        raise SystemExit("unknown experiment %r; try 'list'" % (name,))
+
+
+def _cmd_list(args):
+    print("experiments (one per paper table/figure):")
+    for name in EXPERIMENTS:
+        print("  " + name)
+    return 0
+
+
+def _cmd_run(args):
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else None
+    for name in names:
+        result = _experiment(name)()
+        text = result.render()
+        print(text)
+        print()
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / (result.exp_id + ".txt")).write_text(text + "\n")
+    return 0
+
+
+def _cmd_simulate(args):
+    from repro.api import scatter_add_reference, simulate_scatter_add
+    from repro.software import (
+        ColoringScatterAdd,
+        PrivatizationScatterAdd,
+        SortScanScatterAdd,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    indices = rng.integers(0, args.range, size=args.updates)
+    config = MachineConfig.table1()
+    expected = scatter_add_reference(np.zeros(args.range), indices, 1.0)
+
+    if args.method == "hardware":
+        run = simulate_scatter_add(indices, 1.0, num_targets=args.range,
+                                   config=config)
+    elif args.method == "sortscan":
+        run = SortScanScatterAdd(config).run(indices, 1.0,
+                                             num_targets=args.range)
+    elif args.method == "privatization":
+        run = PrivatizationScatterAdd(config).run(indices, 1.0,
+                                                  num_targets=args.range)
+    else:
+        run = ColoringScatterAdd(config).run(indices, 1.0,
+                                             num_targets=args.range)
+    exact = np.array_equal(np.asarray(run.result), expected)
+    print("%s scatter-add: %d updates over %d targets" % (
+        args.method, args.updates, args.range))
+    print("  cycles: %d  (%.3f us at %.1f GHz)" % (
+        run.cycles, config.cycles_to_us(run.cycles), config.frequency_ghz))
+    print("  result matches numpy reference: %s" % exact)
+    return 0 if exact else 1
+
+
+def _cmd_area(args):
+    model = AreaModel(units=args.units,
+                      combining_store_entries=args.entries)
+    print(model.summary())
+    return 0
+
+
+def _cmd_compare(args):
+    from repro.harness.paper_data import FIGURE9, FIGURE10, compare_rows
+    from repro.harness.report import ExperimentResult
+
+    published = {"figure9": FIGURE9, "figure10": FIGURE10}
+    if args.experiment not in published:
+        raise SystemExit("compare supports: %s (figures with published "
+                         "numbers)" % ", ".join(sorted(published)))
+    measured = _experiment(args.experiment)()
+    rows = compare_rows(measured, published[args.experiment])
+    table = ExperimentResult(
+        args.experiment + "_vs_paper",
+        "%s: measured vs paper" % args.experiment,
+        ["method", "metric", "paper", "measured", "measured/paper"],
+        rows,
+    )
+    print(table.render())
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scatter-Add in Data Parallel Architectures -- "
+                    "reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    run = commands.add_parser("run", help="regenerate a paper experiment")
+    run.add_argument("experiment",
+                     help="experiment name (see 'list') or 'all'")
+    run.add_argument("--out-dir", default=None,
+                     help="also write rendered tables to this directory")
+
+    simulate = commands.add_parser(
+        "simulate", help="time one scatter-add with a chosen method")
+    simulate.add_argument("--updates", type=int, default=4096)
+    simulate.add_argument("--range", type=int, default=2048)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--method", default="hardware",
+        choices=("hardware", "sortscan", "privatization", "coloring"))
+
+    area = commands.add_parser("area", help="die-area estimate")
+    area.add_argument("--units", type=int, default=8)
+    area.add_argument("--entries", type=int, default=8)
+
+    compare = commands.add_parser(
+        "compare", help="measured vs the paper's published numbers")
+    compare.add_argument("experiment",
+                         help="figure9 or figure10 (published bar values)")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "simulate": _cmd_simulate,
+        "area": _cmd_area,
+        "compare": _cmd_compare,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Machine configuration — Table 1 of the paper.
+
+:class:`MachineConfig` captures every parameter of the simulated Merrimac
+node the paper lists in Table 1, plus the structural parameters the paper
+states in prose (word size, cache organisation, scatter-add unit placement)
+and the knobs its sensitivity studies sweep (combining-store entries,
+functional-unit latency, uniform-memory latency/throughput).
+
+All bandwidths are specified in the paper's units (GB/s at 1 GHz) and
+converted to words/cycle here; a *word* is 8 bytes (the 64-bit data type of
+the Merrimac scatter-add unit).
+"""
+
+from dataclasses import dataclass, replace
+
+#: Bytes per machine word (64-bit floating point / integer).
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of one simulated stream-processor node.
+
+    Defaults reproduce Table 1 of the paper exactly.  Instances are frozen;
+    derive variants with :meth:`with_changes`.
+    """
+
+    # --- Table 1 parameters -------------------------------------------------
+    cache_banks: int = 8
+    scatter_add_units_per_bank: int = 1
+    fu_latency: int = 4
+    combining_store_entries: int = 8
+    dram_channels: int = 16
+    address_generators: int = 2
+    frequency_ghz: float = 1.0
+    peak_dram_bw_gbs: float = 38.4
+    cache_bw_gbs: float = 64.0
+    clusters: int = 16
+    peak_flops_per_cycle: int = 128
+    srf_bw_gbs: float = 512.0
+    srf_size_bytes: int = 1 << 20
+    cache_size_bytes: int = 1 << 20
+
+    # --- structural parameters stated in prose ------------------------------
+    cache_line_words: int = 4
+    cache_associativity: int = 4
+    cache_hit_latency: int = 2
+    dram_latency: int = 40
+
+    # --- DRAM detail model ----------------------------------------------------
+    #: "flat": fixed access latency per transaction (default; what the
+    #: paper's averaged-delay argument assumes once access scheduling
+    #: keeps variance small).  "rowbuffer": open-row model with distinct
+    #: hit/miss latencies and a per-channel scheduler.
+    dram_model: str = "flat"
+    #: Row-buffer size in words (4 KB rows of 8-byte words).
+    dram_row_words: int = 512
+    #: Access latency when the open row matches (CAS only).
+    dram_row_hit_latency: int = 20
+    #: Access latency on a row conflict (precharge + activate + CAS).
+    dram_row_miss_latency: int = 56
+    #: Per-channel scheduling under the rowbuffer model: "inorder" or
+    #: "frfcfs" (first-ready first-come-first-served -- memory access
+    #: scheduling, Rixner et al., the paper's citation [34]).
+    dram_scheduling: str = "frfcfs"
+
+    # --- memory-model selection (Section 4.4 sensitivity studies) -----------
+    #: "cached": banked stream cache in front of DRAM channels (base config).
+    #: "uniform": no cache; fixed latency and fixed inter-access interval,
+    #: as used for Figures 11 and 12.
+    memory_model: str = "cached"
+    uniform_latency: int = 16
+    uniform_interval: int = 2
+
+    # --- stream-program cost-model parameters --------------------------------
+    #: Fixed overhead, in cycles, of starting one stream operation (kernel or
+    #: memory stream): instruction issue, SRF allocation, memory-pipeline
+    #: priming.  The paper attributes the optimal sort batch size of 256 to
+    #: this overhead ("smaller batches do not amortize the latency of
+    #: starting a stream operation").
+    stream_op_overhead: int = 220
+
+    # --- multi-node parameters (Section 4.5) --------------------------------
+    nodes: int = 1
+    #: Per-node network bandwidth in words/cycle.  The paper evaluates
+    #: 1 word/cycle ("low") and 8 words/cycle ("high").
+    network_bw_words: int = 8
+    #: Two-phase cache-combining optimisation (Section 3.2, multi-node).
+    cache_combining: bool = False
+    #: Hierarchical combining (Section 5 future work): sum-backs travel
+    #: through a logical binary tree of nodes, combining at each hop, so
+    #: cross-node combining costs O(log N) instead of O(N) messages per
+    #: address.  Requires cache_combining.
+    hierarchical_combining: bool = False
+
+    def __post_init__(self):
+        _require(self.cache_banks >= 1, "cache_banks must be >= 1")
+        _require(
+            self.cache_banks & (self.cache_banks - 1) == 0,
+            "cache_banks must be a power of two (address interleaving)",
+        )
+        _require(self.scatter_add_units_per_bank >= 1, "need >= 1 unit per bank")
+        _require(self.fu_latency >= 1, "fu_latency must be >= 1")
+        _require(self.combining_store_entries >= 1, "need >= 1 combining entry")
+        _require(self.dram_channels >= 1, "dram_channels must be >= 1")
+        _require(self.address_generators >= 1, "need >= 1 address generator")
+        _require(self.cache_line_words >= 1, "cache_line_words must be >= 1")
+        _require(self.cache_associativity >= 1, "associativity must be >= 1")
+        _require(self.memory_model in ("cached", "uniform"),
+                 "memory_model must be 'cached' or 'uniform'")
+        _require(self.dram_model in ("flat", "rowbuffer"),
+                 "dram_model must be 'flat' or 'rowbuffer'")
+        _require(self.dram_scheduling in ("inorder", "frfcfs"),
+                 "dram_scheduling must be 'inorder' or 'frfcfs'")
+        _require(self.dram_row_words >= 1, "dram_row_words must be >= 1")
+        _require(self.uniform_interval >= 1, "uniform_interval must be >= 1")
+        _require(self.nodes >= 1, "nodes must be >= 1")
+        _require(self.network_bw_words >= 1, "network_bw_words must be >= 1")
+        _require(not self.hierarchical_combining or self.cache_combining,
+                 "hierarchical_combining requires cache_combining")
+
+    # --- derived quantities --------------------------------------------------
+    @property
+    def cache_words_per_cycle(self):
+        """Total stream-cache bandwidth in words/cycle (64 GB/s -> 8)."""
+        return _bw_words(self.cache_bw_gbs, self.frequency_ghz)
+
+    @property
+    def bank_words_per_cycle(self):
+        """Per-bank cache bandwidth in words/cycle (>= 1)."""
+        return max(1, self.cache_words_per_cycle // self.cache_banks)
+
+    @property
+    def dram_words_per_cycle(self):
+        """Total DRAM bandwidth in words/cycle (38.4 GB/s -> 4.8)."""
+        return self.peak_dram_bw_gbs / (self.frequency_ghz * WORD_BYTES)
+
+    @property
+    def dram_channel_interval(self):
+        """Cycles between successive word accesses on one DRAM channel."""
+        interval = round(self.dram_channels / self.dram_words_per_cycle)
+        return max(1, interval)
+
+    @property
+    def srf_words_per_cycle(self):
+        """SRF bandwidth in words/cycle (512 GB/s -> 64)."""
+        return _bw_words(self.srf_bw_gbs, self.frequency_ghz)
+
+    @property
+    def agu_words_per_cycle(self):
+        """Per-address-generator issue bandwidth in words/cycle."""
+        return max(1, self.cache_words_per_cycle // self.address_generators)
+
+    @property
+    def cache_lines_total(self):
+        """Total cache capacity in lines."""
+        return self.cache_size_bytes // (self.cache_line_words * WORD_BYTES)
+
+    @property
+    def cache_sets_per_bank(self):
+        """Number of sets in each cache bank."""
+        lines_per_bank = self.cache_lines_total // self.cache_banks
+        return max(1, lines_per_bank // self.cache_associativity)
+
+    @property
+    def cycle_time_us(self):
+        """Duration of one cycle in microseconds."""
+        return 1e-3 / self.frequency_ghz
+
+    def cycles_to_us(self, cycles):
+        """Convert a cycle count to microseconds at this clock."""
+        return cycles * self.cycle_time_us
+
+    def with_changes(self, **changes):
+        """Return a copy with the given fields replaced (and re-validated)."""
+        return replace(self, **changes)
+
+    # --- presets used by the experiments ------------------------------------
+    @classmethod
+    def table1(cls):
+        """The paper's base configuration (Table 1)."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, latency=16, interval=2, combining_store_entries=8,
+                fu_latency=4):
+        """The simplified memory system of the sensitivity studies (Sec 4.4).
+
+        No cache; memory is a uniform bandwidth/latency structure with a
+        fixed cycle interval between successive word accesses.
+        """
+        return cls(
+            memory_model="uniform",
+            uniform_latency=latency,
+            uniform_interval=interval,
+            combining_store_entries=combining_store_entries,
+            fu_latency=fu_latency,
+        )
+
+    @classmethod
+    def multinode(cls, nodes, network_bw_words=8, cache_combining=False,
+                  hierarchical_combining=False):
+        """A multi-node system of Table 1 nodes (Section 4.5)."""
+        return cls(
+            nodes=nodes,
+            network_bw_words=network_bw_words,
+            cache_combining=cache_combining,
+            hierarchical_combining=hierarchical_combining,
+        )
+
+
+def _bw_words(gb_per_s, frequency_ghz):
+    """Convert GB/s to whole words per cycle at the given clock."""
+    return max(1, int(round(gb_per_s / (frequency_ghz * WORD_BYTES))))
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError("invalid MachineConfig: " + message)

@@ -1,0 +1,78 @@
+"""Die-area model for the scatter-add hardware.
+
+The paper's feasibility argument (Sections 1 and 3.2): a 64-bit
+floating-point functional unit in 90 nm standard cells occupies about
+0.3 mm^2; a complete scatter-add unit (FU + combining store + control)
+about 0.2 mm^2 when sized for the Table 1 configuration; eight units
+therefore cost under 2% of a 10 mm x 10 mm die.  The analysis is based on
+the Imagine ALU implementation targeting a 4-cycle, 1 ns pipeline.
+
+This module reproduces that arithmetic and scales it with the
+configuration knobs (number of units, combining-store entries), so the
+area claim can be re-derived for any swept design point.
+"""
+
+from dataclasses import dataclass
+
+#: 90nm standard-cell area of a 64-bit FP/integer adder pipeline (mm^2).
+FPU_AREA_MM2 = 0.3
+
+#: Area of one complete scatter-add unit at the base configuration (mm^2):
+#: adder sized to the unit's share, combining store, CAM and control.
+UNIT_AREA_MM2 = 0.2
+
+#: Area of one combining-store entry: 64-bit value + address tag + state,
+#: CAM match logic.  Derived so that the 8-entry base configuration's
+#: storage plus the FU fits in UNIT_AREA_MM2.
+ENTRY_AREA_MM2 = 0.004
+
+#: Control / multiplexing overhead per unit (mm^2).
+CONTROL_AREA_MM2 = 0.02
+
+#: Reference die: 10mm x 10mm in 90nm.
+DIE_AREA_MM2 = 100.0
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area estimate for a scatter-add configuration."""
+
+    units: int = 8
+    combining_store_entries: int = 8
+
+    @property
+    def fu_area_mm2(self):
+        """Adder area per unit; the base unit embeds a share of a full FPU."""
+        base_entries = 8
+        storage_base = base_entries * ENTRY_AREA_MM2
+        return UNIT_AREA_MM2 - storage_base - CONTROL_AREA_MM2
+
+    @property
+    def unit_area_mm2(self):
+        """Area of one unit with this configuration's combining store."""
+        return (
+            self.fu_area_mm2
+            + self.combining_store_entries * ENTRY_AREA_MM2
+            + CONTROL_AREA_MM2
+        )
+
+    @property
+    def total_area_mm2(self):
+        return self.units * self.unit_area_mm2
+
+    @property
+    def die_fraction(self):
+        """Fraction of the reference 10mm x 10mm die."""
+        return self.total_area_mm2 / DIE_AREA_MM2
+
+    def summary(self):
+        return (
+            "%d scatter-add units x %.3f mm^2 = %.3f mm^2 "
+            "(%.2f%% of a 10mm x 10mm die in 90nm)"
+            % (
+                self.units,
+                self.unit_area_mm2,
+                self.total_area_mm2,
+                100.0 * self.die_fraction,
+            )
+        )

@@ -1,0 +1,98 @@
+"""The combining store: a CAM-indexed buffer of pending atomic requests.
+
+The combining store is "analogous to the miss status handling register
+(MSHR) and write combining buffer of memory data caches" (Section 3.2).  It
+serves two purposes:
+
+1. buffer scatter-add requests until the original memory value is fetched;
+2. buffer them while the multi-cycle addition executes.
+
+Each pending request occupies one entry from arrival until *its* sum
+completes in the functional unit.  The store maintains per-address arrival
+order (the paper's "simple ordering mechanism" that makes a single CAM
+lookup suffice), so chained additions to the same address complete in
+arrival order -- making every run deterministic, as Section 3.3 promises.
+"""
+
+from collections import deque
+
+
+class _Entry:
+    __slots__ = ("addr", "value", "op", "reply_to", "tag")
+
+    def __init__(self, addr, value, op, reply_to, tag):
+        self.addr = addr
+        self.value = value
+        self.op = op
+        self.reply_to = reply_to
+        self.tag = tag
+
+
+class CombiningStore:
+    """Fixed-capacity associative buffer of pending atomic requests."""
+
+    def __init__(self, entries):
+        if entries < 1:
+            raise ValueError("combining store needs >= 1 entry")
+        self.capacity = entries
+        self._free = list(range(entries))
+        self._entries = [None] * entries
+        self._waiting = {}  # addr -> deque of entry ids, arrival order
+        self.peak_occupancy = 0
+
+    @property
+    def occupancy(self):
+        return self.capacity - len(self._free)
+
+    @property
+    def full(self):
+        return not self._free
+
+    def has_address(self, addr):
+        """CAM lookup: any *waiting* entry for `addr`?"""
+        return bool(self._waiting.get(addr))
+
+    def allocate(self, addr, value, op, reply_to=None, tag=None):
+        """Place a request in a free entry; returns the entry id.
+
+        Raises :class:`OverflowError` when no entry is free -- callers must
+        check :attr:`full` first and stall, exactly as the hardware does
+        ("if no such entry exists, the scatter-add operation stalls").
+        """
+        if not self._free:
+            raise OverflowError("combining store full")
+        entry_id = self._free.pop()
+        self._entries[entry_id] = _Entry(addr, value, op, reply_to, tag)
+        self._waiting.setdefault(addr, deque()).append(entry_id)
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        return entry_id
+
+    def pop_waiting(self, addr):
+        """Remove and return (entry_id, entry) of the oldest waiting request.
+
+        The entry remains allocated (it is being buffered "while the
+        addition is performed") until :meth:`release`.
+        """
+        queue = self._waiting.get(addr)
+        if not queue:
+            raise KeyError("no waiting entry for address %d" % (addr,))
+        entry_id = queue.popleft()
+        if not queue:
+            del self._waiting[addr]
+        return entry_id, self._entries[entry_id]
+
+    def release(self, entry_id):
+        """Free an entry once its sum has been computed."""
+        if self._entries[entry_id] is None:
+            raise KeyError("entry %d is not allocated" % (entry_id,))
+        self._entries[entry_id] = None
+        self._free.append(entry_id)
+
+    def waiting_count(self, addr):
+        queue = self._waiting.get(addr)
+        return len(queue) if queue else 0
+
+    def __repr__(self):
+        return "CombiningStore(%d/%d occupied, %d addresses waiting)" % (
+            self.occupancy, self.capacity, len(self._waiting),
+        )

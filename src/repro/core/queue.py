@@ -1,0 +1,123 @@
+"""Parallel queue allocation on top of the fetch-add extension.
+
+Section 3.3: "A more interesting modification is to allow a return path
+for the original data before the addition is performed and implement a
+parallel fetch-add operation similar to the scalar Fetch&Op primitive.
+This data-parallel version can be used to perform parallel queue
+allocation on SIMD vector and stream systems."
+
+:class:`ParallelQueueAllocator` does exactly that: a vector of elements,
+each tagged with a destination queue, claims slots by fetch-adding each
+queue's tail counter.  Atomicity of the fetch-add guarantees every
+element a unique, dense slot, with no ordering other than the (
+deterministic, repeatable) hardware completion order -- the classic
+building block for data-parallel compaction, binning-into-buckets and
+work-queue construction.
+"""
+
+import numpy as np
+
+# NOTE: repro.node imports are deferred to call time -- repro.core is a
+# lower layer (the node model builds on it), and importing the node here
+# at module load would be circular.
+
+
+class QueueAllocation:
+    """Outcome of one parallel allocation."""
+
+    def __init__(self, config, slots, counts, cycles, stats):
+        self.config = config
+        #: Slot index assigned to each element, within its queue.
+        self.slots = slots
+        #: Final element count per queue (the tail counters).
+        self.counts = counts
+        self.cycles = cycles
+        self.stats = stats
+
+    @property
+    def microseconds(self):
+        return self.config.cycles_to_us(self.cycles)
+
+    def __repr__(self):
+        return "QueueAllocation(%d elements, %d queues, %d cycles)" % (
+            len(self.slots), len(self.counts), self.cycles,
+        )
+
+
+class ParallelQueueAllocator:
+    """Allocate queue slots for a vector of elements in one stream op."""
+
+    def __init__(self, config, num_queues, counter_base=0):
+        if num_queues < 1:
+            raise ValueError("need at least one queue")
+        self.config = config
+        self.num_queues = num_queues
+        self.counter_base = counter_base
+
+    def allocate(self, queue_ids, processor=None):
+        """Claim one slot per element; returns a :class:`QueueAllocation`.
+
+        `queue_ids` maps each element to its destination queue.  The
+        returned slots are a permutation of ``0..count-1`` within each
+        queue -- dense and collision-free.
+        """
+        from repro.node.processor import StreamProcessor
+        from repro.node.program import FetchAdd, Phase, StreamProgram
+
+        queue_ids = np.asarray(queue_ids, dtype=np.int64)
+        if queue_ids.size and (queue_ids.min() < 0
+                               or queue_ids.max() >= self.num_queues):
+            raise IndexError("queue id out of range")
+        if processor is None:
+            processor = StreamProcessor(self.config)
+        op = FetchAdd(
+            [self.counter_base + int(q) for q in queue_ids],
+            1.0,
+        )
+        result = processor.run(StreamProgram([Phase([op])],
+                                             name="queue_alloc"))
+        slots = np.asarray(op.result, dtype=np.int64)
+        counts = processor.read_result(self.counter_base, self.num_queues)
+        return QueueAllocation(self.config, slots,
+                               counts.astype(np.int64), result.cycles,
+                               processor.stats)
+
+    def scatter_to_queues(self, queue_ids, values, capacity,
+                          data_base=None):
+        """Allocate slots and scatter `values` into per-queue regions.
+
+        Each queue owns `capacity` consecutive words starting at
+        ``data_base + queue * capacity``; returns (allocation, memory
+        image of the queue regions).  One fetch-add stream plus one plain
+        scatter -- no sorting, no synchronisation.
+        """
+        from repro.node.processor import StreamProcessor
+        from repro.node.program import Phase, Scatter, StreamProgram
+
+        queue_ids = np.asarray(queue_ids, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) != len(queue_ids):
+            raise ValueError("values and queue_ids must have equal length")
+        if data_base is None:
+            data_base = self.counter_base + self.num_queues
+        processor = StreamProcessor(self.config)
+        allocation = self.allocate(queue_ids, processor=processor)
+        if allocation.counts.size and allocation.counts.max() > capacity:
+            raise OverflowError(
+                "queue overflow: %d elements > capacity %d"
+                % (int(allocation.counts.max()), capacity)
+            )
+        addrs = [
+            data_base + int(q) * capacity + int(slot)
+            for q, slot in zip(queue_ids, allocation.slots)
+        ]
+        scatter_result = processor.run(StreamProgram([
+            Phase([Scatter(addrs, list(values), name="queue_scatter")]),
+        ]))
+        image = processor.read_result(data_base,
+                                      self.num_queues * capacity)
+        total = QueueAllocation(
+            self.config, allocation.slots, allocation.counts,
+            allocation.cycles + scatter_result.cycles, processor.stats,
+        )
+        return total, image.reshape(self.num_queues, capacity)

@@ -1,0 +1,204 @@
+"""The scatter-add unit: combining controller of Figures 4b and 5.
+
+Placement (chosen by the node model): one unit in front of each stream
+cache bank in the base configuration (Figure 4a), or a single unit at the
+memory interface in the cache-less sensitivity configuration (Figure 3).
+
+Operation, following the Figure 5 flow diagram:
+
+- Ordinary reads and writes bypass the unit straight to the cache / memory
+  interface.
+- An atomic request is placed in a free combining-store entry (stalling
+  when none is free).  A CAM lookup decides whether the address is already
+  *active*: if not, a read of the current memory value is issued; if so, no
+  memory access is needed -- the request will be *combined*.
+- When a value for an address arrives (from memory, or a freshly computed
+  sum chained back per step *d* of Figure 4b), the oldest waiting entry for
+  that address issues into the pipelined functional unit.
+- When a sum completes, an acknowledgement goes back to the address
+  generator, and the combining store is checked once more: a further
+  waiting entry consumes the sum directly (chaining); otherwise the sum is
+  written out to memory and the address becomes inactive.
+
+Atomicity holds by construction: exactly one value token exists per active
+address, so same-address updates serialise through the FU while different
+addresses pipeline at one per cycle.
+
+The multi-node *cache-combining* mode (Section 3.2) skips the initial read:
+the chain starts from the operation identity and the final "write" is a
+delta merged into the local cache line (allocated at identity on miss), to
+be sum-back'ed to the home node on eviction.
+
+``chaining=False`` is an ablation handle (see DESIGN.md): each same-address
+update then round-trips through memory instead of chaining in the store.
+"""
+
+from collections import deque
+
+from repro.core.combining_store import CombiningStore
+from repro.core.fu import AddPipeline
+from repro.memory.request import (
+    OP_FETCH_ADD,
+    OP_READ,
+    OP_WRITE,
+    MemoryRequest,
+    MemoryResponse,
+    identity_value,
+)
+from repro.sim.engine import Component
+
+
+class ScatterAddUnit(Component):
+    """One scatter-add unit in front of a cache bank or memory interface."""
+
+    def __init__(self, sim, config, stats, mem_out, name="sau", chaining=True,
+                 trace=None):
+        super().__init__(name)
+        self.stats = stats
+        self.trace = trace
+        self.store = CombiningStore(config.combining_store_entries)
+        self.fu = AddPipeline(config.fu_latency)
+        self.mem_out = mem_out
+        self.chaining = chaining
+        self.req_in = sim.fifo(capacity=4, name=name + ".req_in")
+        self.value_in = sim.fifo(capacity=None, name=name + ".value_in")
+        self._chained = deque()  # (addr, value) sums re-entering as tokens
+        self._mem_retry = deque()  # requests blocked on a full mem_out
+        self._ack_retry = deque()  # (response, reply_to) blocked acks
+        self._active = set()  # addresses holding a value token
+        self._combining_addrs = set()  # active addresses in combining mode
+
+    # ------------------------------------------------------------------ #
+    def _push_mem(self, request):
+        if not self._mem_retry and self.mem_out.can_push():
+            self.mem_out.push(request)
+        else:
+            self._mem_retry.append(request)
+
+    def _drain_retries(self):
+        while self._mem_retry and self.mem_out.can_push():
+            self.mem_out.push(self._mem_retry.popleft())
+        while self._ack_retry:
+            response, reply_to = self._ack_retry[0]
+            if not reply_to.can_push():
+                break
+            reply_to.push(response)
+            self._ack_retry.popleft()
+
+    def _send_ack(self, op, addr, old_value, reply_to, tag):
+        if reply_to is None:
+            return
+        value = old_value if op == OP_FETCH_ADD else None
+        response = MemoryResponse(op, addr, value, tag=tag)
+        if not self._ack_retry and reply_to.can_push():
+            reply_to.push(response)
+        else:
+            self._ack_retry.append((response, reply_to))
+
+    # ------------------------------------------------------------------ #
+    def _handle_completion(self, now):
+        done = self.fu.completed(now)
+        if done is None:
+            return
+        result, old_value, meta = done
+        entry_id, addr, reply_to, tag, op = meta
+        self.store.release(entry_id)
+        self._send_ack(op, addr, old_value, reply_to, tag)
+        self.stats.add(self.name + ".sums")
+        self.stats.add("fu.sums")
+        if self.trace is not None:
+            self.trace.emit(now, self.name, "sum", addr=addr, result=result)
+        pending = self.store.waiting_count(addr)
+        if self.chaining and pending:
+            self._chained.append((addr, result))
+            self.stats.add(self.name + ".chained")
+            return
+        combining = addr in self._combining_addrs
+        if combining:
+            self._push_mem(MemoryRequest(op, addr, result, combining=True))
+        else:
+            self._push_mem(MemoryRequest(OP_WRITE, addr, result))
+        self.stats.add(self.name + ".result_writes")
+        if pending:
+            # Ablation path (chaining disabled): round-trip through memory.
+            # The read is queued behind the write, so the bank's in-order
+            # processing returns the just-written value.
+            if combining:
+                self._chained.append((addr, identity_value(op)))
+            else:
+                self._push_mem(
+                    MemoryRequest(OP_READ, addr, reply_to=self.value_in)
+                )
+                self.stats.add(self.name + ".value_reads")
+        else:
+            self._active.discard(addr)
+            self._combining_addrs.discard(addr)
+
+    def _consume_value(self, now):
+        if not self.fu.can_issue(now):
+            return
+        if self._chained:
+            addr, value = self._chained.popleft()
+        elif len(self.value_in):
+            response = self.value_in.pop()
+            addr, value = response.addr, response.value
+        else:
+            return
+        entry_id, entry = self.store.pop_waiting(addr)
+        meta = (entry_id, addr, entry.reply_to, entry.tag, entry.op)
+        self.fu.issue(entry.op, value, entry.value, meta, now)
+
+    def _accept_request(self, now):
+        if not len(self.req_in):
+            return
+        request = self.req_in.peek()
+        if not request.is_atomic:
+            if self._mem_retry or not self.mem_out.can_push():
+                return  # back-pressure: keep request at head
+            self.mem_out.push(self.req_in.pop())
+            self.stats.add(self.name + ".bypassed")
+            return
+        if self.store.full:
+            self.stats.add(self.name + ".stall_cycles")
+            return
+        self.req_in.pop()
+        self.stats.add(self.name + ".atomics")
+        self.store.allocate(request.addr, request.value, request.op,
+                            reply_to=request.reply_to, tag=request.tag)
+        if request.addr in self._active:
+            self.stats.add(self.name + ".combined")
+            if self.trace is not None:
+                self.trace.emit(now, self.name, "combine",
+                                addr=request.addr, value=request.value)
+            return
+        if self.trace is not None:
+            self.trace.emit(now, self.name, "activate",
+                            addr=request.addr, value=request.value)
+        self._active.add(request.addr)
+        if request.combining:
+            # Cache-combining mode: start the chain from the identity; the
+            # current (remote) memory value is never read.
+            self._combining_addrs.add(request.addr)
+            self._chained.append((request.addr, identity_value(request.op)))
+        else:
+            self._push_mem(
+                MemoryRequest(OP_READ, request.addr, reply_to=self.value_in)
+            )
+            self.stats.add(self.name + ".value_reads")
+
+    # ------------------------------------------------------------------ #
+    def tick(self, now):
+        self._drain_retries()
+        self._handle_completion(now)
+        self._consume_value(now)
+        self._accept_request(now)
+
+    @property
+    def busy(self):
+        return bool(
+            self.store.occupancy
+            or self.fu.busy
+            or self._chained
+            or self._mem_retry
+            or self._ack_retry
+        )

@@ -1,0 +1,43 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+Each ``figureN()`` function in :mod:`~repro.harness.experiments` runs the
+corresponding experiment of Section 4 and returns an
+:class:`~repro.harness.report.ExperimentResult` whose rows mirror the
+series the paper plots.  :mod:`~repro.harness.report` renders results as
+aligned text tables (the format EXPERIMENTS.md records).
+"""
+
+from repro.harness.experiments import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    table1,
+)
+from repro.harness.figures import bar_chart, line_chart
+from repro.harness.paper_data import compare_rows
+from repro.harness.report import ExperimentResult, format_table
+from repro.harness.sweep import grid_sweep, sweep
+
+__all__ = [
+    "ExperimentResult",
+    "bar_chart",
+    "compare_rows",
+    "grid_sweep",
+    "line_chart",
+    "sweep",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "format_table",
+    "table1",
+]

@@ -1,0 +1,127 @@
+"""ASCII rendering of experiment results as charts.
+
+The paper presents its evaluation as line charts (Figures 6, 7, 13) and
+bar groups (Figures 8-12).  :func:`line_chart` and :func:`bar_chart`
+render an :class:`~repro.harness.report.ExperimentResult` in the same
+shape on a terminal, with optional logarithmic axes -- good enough to eyeball
+the hot-bank dip, the cache cliff and the scaling fans side by side with
+the paper.
+"""
+
+import math
+
+_MARKS = "*o+x#@%&"
+
+
+def _log(value):
+    return math.log10(max(value, 1e-12))
+
+
+def _scale(value, lo, hi, span, logscale):
+    if logscale:
+        value, lo, hi = _log(value), _log(lo), _log(hi)
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return int(round(position * (span - 1)))
+
+
+def _format_tick(value):
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return "%.0e" % value
+    if abs(value) >= 100:
+        return "%.0f" % value
+    return "%.3g" % value
+
+
+def line_chart(result, x, series, width=64, height=18, logx=False,
+               logy=False, title=None):
+    """Render columns of `result` as an ASCII line chart.
+
+    Parameters
+    ----------
+    result:
+        An :class:`~repro.harness.report.ExperimentResult`.
+    x:
+        Column holding the x coordinates.
+    series:
+        Column names to plot (each gets a distinct mark).
+    """
+    xs = [float(value) for value in result.column(x)]
+    all_ys = [float(value) for name in series for value in
+              result.column(name)]
+    if not xs or not all_ys:
+        return "(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_ys), max(all_ys)
+    if y_lo == y_hi:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, name in enumerate(series):
+        mark = _MARKS[index % len(_MARKS)]
+        for xv, yv in zip(xs, result.column(name)):
+            col = _scale(float(xv), x_lo, x_hi, width, logx)
+            row = height - 1 - _scale(float(yv), y_lo, y_hi, height, logy)
+            grid[row][col] = mark
+
+    lines = []
+    if title or result.title:
+        lines.append(title or ("%s — %s" % (result.exp_id, result.title)))
+    top_label = _format_tick(y_hi)
+    bottom_label = _format_tick(y_lo)
+    label_width = max(len(top_label), len(bottom_label))
+    for row, cells in enumerate(grid):
+        if row == 0:
+            label = top_label.rjust(label_width)
+        elif row == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append("%s |%s" % (label, "".join(cells)))
+    axis = "%s +%s" % (" " * label_width, "-" * width)
+    lines.append(axis)
+    x_left = _format_tick(x_lo)
+    x_right = _format_tick(x_hi)
+    padding = width - len(x_left) - len(x_right)
+    lines.append("%s  %s%s%s" % (" " * label_width, x_left,
+                                 " " * max(1, padding), x_right))
+    scales = []
+    if logx:
+        scales.append("log x")
+    if logy:
+        scales.append("log y")
+    legend = "   ".join("%s %s" % (_MARKS[i % len(_MARKS)], name)
+                        for i, name in enumerate(series))
+    if scales:
+        legend += "   (%s)" % ", ".join(scales)
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def bar_chart(result, label, series, width=48, logscale=False, title=None):
+    """Render grouped horizontal bars, one group per row of `result`."""
+    values = [float(v) for name in series for v in result.column(name)]
+    if not values:
+        return "(no data)"
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    if title or result.title:
+        lines.append(title or ("%s — %s" % (result.exp_id, result.title)))
+    name_width = max(len(str(name)) for name in series)
+    for row in result.rows:
+        lines.append(str(row[label]) + ":")
+        for name in series:
+            value = float(row[name])
+            length = _scale(value, peak / 1000 if logscale else 0.0,
+                            peak, width, logscale)
+            bar = "#" * max(length, 1 if value > 0 else 0)
+            lines.append("  %-*s |%s %s" % (name_width, name, bar,
+                                            _format_tick(value)))
+    if logscale:
+        lines.append("(log scale)")
+    return "\n".join(lines)

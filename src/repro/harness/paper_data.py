@@ -1,0 +1,70 @@
+"""The paper's published numbers, transcribed for side-by-side comparison.
+
+Only quantities the paper states numerically are recorded here (the bar
+labels of Figures 9 and 10, the headline ratios of the text, and the
+Figure 13 scaling factors); figures whose values must be read off chart
+axes are represented by their qualitative claims in EXPERIMENTS.md
+instead.
+"""
+
+#: Figure 9 bar values, x1M (execution cycles, FP operations, memory
+#: references) -- printed beneath the chart in the paper.
+FIGURE9 = {
+    "CSR": {"exec_cycles_M": 0.334, "fp_ops_M": 1.217,
+            "mem_refs_M": 1.836},
+    "EBE SW scatter-add": {"exec_cycles_M": 0.739, "fp_ops_M": 1.735,
+                           "mem_refs_M": 1.031},
+    "EBE HW scatter-add": {"exec_cycles_M": 0.230, "fp_ops_M": 1.536,
+                           "mem_refs_M": 0.922},
+}
+
+#: Figure 10 bar values; the paper prints FP ops x10M, converted to x1M
+#: here for uniformity.
+FIGURE10 = {
+    "no scatter-add": {"exec_cycles_M": 0.975, "fp_ops_M": 45.24,
+                       "mem_refs_M": 1.722},
+    "SW scatter-add": {"exec_cycles_M": 3.022, "fp_ops_M": 24.90,
+                       "mem_refs_M": 4.865},
+    "HW scatter-add": {"exec_cycles_M": 0.553, "fp_ops_M": 29.16,
+                       "mem_refs_M": 1.870},
+}
+
+#: Headline ratios stated in the text.
+HEADLINES = {
+    "histogram speedup envelope (fig 6)": (3.0, 11.0),
+    "EBE-HW speedup over CSR (fig 9)": 1.45,
+    "CSR speedup over EBE-SW (fig 9)": 2.2,
+    "MD duplication speedup over SW (fig 10)": 3.1,
+    "MD HW speedup over duplication (fig 10)": 1.76,
+    "narrow-high scaling at 8 nodes (fig 13)": 7.1,
+    "narrow-low-comb scaling at 8 nodes (fig 13)": 5.7,
+    "die fraction for 8 units": 0.02,
+    "optimal sort batch size": 256,
+}
+
+
+def compare_rows(measured_result, paper_values, key="method"):
+    """Join measured experiment rows with the paper's published values.
+
+    Returns rows with measured/paper/ratio columns for every metric the
+    paper publishes; unknown methods or metrics are skipped.
+    """
+    rows = []
+    for measured_row in measured_result.rows:
+        label = measured_row.get(key)
+        published = paper_values.get(label)
+        if published is None:
+            continue
+        for metric, paper_value in published.items():
+            measured_value = measured_row.get(metric)
+            if measured_value is None:
+                continue
+            rows.append({
+                key: label,
+                "metric": metric,
+                "paper": paper_value,
+                "measured": round(float(measured_value), 3),
+                "measured/paper": round(float(measured_value)
+                                        / paper_value, 2),
+            })
+    return rows

@@ -1,0 +1,70 @@
+"""Result containers and text-table rendering for the experiments."""
+
+
+class ExperimentResult:
+    """Rows regenerating one of the paper's tables or figures.
+
+    Attributes
+    ----------
+    exp_id:
+        Paper reference, e.g. ``"figure6"``.
+    title:
+        Human-readable description.
+    columns:
+        Ordered column names.
+    rows:
+        List of dicts keyed by column name.
+    notes:
+        Free-form commentary (scaling applied, expected shape).
+    """
+
+    def __init__(self, exp_id, title, columns, rows, notes=""):
+        self.exp_id = exp_id
+        self.title = title
+        self.columns = list(columns)
+        self.rows = list(rows)
+        self.notes = notes
+
+    def column(self, name):
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def render(self):
+        """Aligned text table with title and notes."""
+        header = "%s — %s" % (self.exp_id, self.title)
+        table = format_table(self.columns, self.rows)
+        parts = [header, table]
+        if self.notes:
+            parts.append("note: " + self.notes)
+        return "\n".join(parts)
+
+    def __repr__(self):
+        return "ExperimentResult(%s, %d rows)" % (self.exp_id, len(self.rows))
+
+
+def _format_cell(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 10:
+            return "%.1f" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def format_table(columns, rows):
+    """Render rows as an aligned monospace table."""
+    cells = [[_format_cell(row.get(col, "")) for col in columns]
+             for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    def fmt(parts):
+        return "  ".join(part.rjust(width)
+                         for part, width in zip(parts, widths))
+    lines = [fmt(columns), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(line) for line in cells)
+    return "\n".join(lines)

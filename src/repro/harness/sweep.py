@@ -1,0 +1,69 @@
+"""Generic design-space sweep utilities.
+
+The paper's sensitivity studies are one-dimensional sweeps of
+:class:`~repro.config.MachineConfig` fields.  :func:`sweep` and
+:func:`grid_sweep` generalise that: give them a base configuration, the
+fields to vary and a measurement function, and they return an
+:class:`~repro.harness.report.ExperimentResult` ready for rendering --
+the tool behind ``examples/design_space.py`` and quick what-if studies.
+"""
+
+import itertools
+
+from repro.harness.report import ExperimentResult
+
+
+def sweep(base_config, field, values, measure, exp_id="sweep", title=None):
+    """Vary one configuration field; measure each design point.
+
+    Parameters
+    ----------
+    base_config:
+        The :class:`~repro.config.MachineConfig` to derive points from.
+    field:
+        Name of the config field to vary.
+    values:
+        Iterable of values for `field`.
+    measure:
+        Callable ``measure(config) -> dict`` of result columns.
+    """
+    rows = []
+    columns = [field]
+    for value in values:
+        config = base_config.with_changes(**{field: value})
+        outcome = measure(config)
+        row = {field: value}
+        row.update(outcome)
+        for name in outcome:
+            if name not in columns:
+                columns.append(name)
+        rows.append(row)
+    return ExperimentResult(
+        exp_id, title or ("sweep of %s" % field), columns, rows,
+    )
+
+
+def grid_sweep(base_config, fields, measure, exp_id="grid_sweep",
+               title=None):
+    """Cartesian-product sweep over several configuration fields.
+
+    `fields` maps field names to value iterables.  Rows appear in
+    row-major order of the given field order.
+    """
+    names = list(fields)
+    columns = list(names)
+    rows = []
+    for combination in itertools.product(*(fields[name] for name in names)):
+        changes = dict(zip(names, combination))
+        config = base_config.with_changes(**changes)
+        outcome = measure(config)
+        row = dict(changes)
+        row.update(outcome)
+        for name in outcome:
+            if name not in columns:
+                columns.append(name)
+        rows.append(row)
+    return ExperimentResult(
+        exp_id, title or ("grid sweep of %s" % ", ".join(names)),
+        columns, rows,
+    )

@@ -1,0 +1,59 @@
+"""Functional backing store for simulated memory.
+
+The simulator is *value-accurate*: every modelled structure (DRAM, cache
+lines, combining store) carries real data, so any run can be checked
+bit-for-bit against the numpy reference semantics
+(:func:`repro.api.scatter_add_reference`).  :class:`MainMemory` is the
+bottom of that hierarchy -- a sparse word-addressed store defaulting to
+zero.
+"""
+
+import numpy as np
+
+
+class MainMemory:
+    """Sparse word-addressable memory, default value 0.0."""
+
+    def __init__(self):
+        self._words = {}
+
+    def read_word(self, addr):
+        """Value at word address `addr` (0.0 if never written)."""
+        return self._words.get(addr, 0.0)
+
+    def write_word(self, addr, value):
+        """Store `value` at word address `addr`."""
+        self._words[addr] = value
+
+    def read_line(self, base, line_words):
+        """Read `line_words` consecutive words starting at `base`."""
+        read = self._words.get
+        return [read(base + i, 0.0) for i in range(line_words)]
+
+    def write_line(self, base, values):
+        """Write consecutive `values` starting at word address `base`."""
+        for offset, value in enumerate(values):
+            self._words[base + offset] = value
+
+    def load_array(self, base, array):
+        """Bulk-initialise memory from a 1-D array at word address `base`."""
+        for offset, value in enumerate(array):
+            self._words[base + offset] = float(value)
+
+    def export_array(self, base, length, dtype=np.float64):
+        """Read `length` words starting at `base` into a numpy array."""
+        read = self._words.get
+        out = np.empty(length, dtype=dtype)
+        for i in range(length):
+            out[i] = read(base + i, 0.0)
+        return out
+
+    def touched_addresses(self):
+        """Sorted word addresses that were ever written."""
+        return sorted(self._words)
+
+    def __len__(self):
+        return len(self._words)
+
+    def __repr__(self):
+        return "MainMemory(%d words touched)" % (len(self._words),)

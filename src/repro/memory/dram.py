@@ -1,0 +1,217 @@
+"""DRAM models.
+
+Both models are *endpoints*: they accept :class:`MemoryRequest` messages on
+an input FIFO, apply them to a :class:`~repro.memory.backing.MainMemory`
+after the modelled delay, and push responses into each request's
+``reply_to`` FIFO.  Atomic operations never reach these models -- the
+scatter-add unit in front of them turns atomics into plain reads and
+writes.
+
+:class:`DRAMSystem` is the banked, channel-interleaved model of the base
+configuration; :class:`UniformMemory` is the cache-less fixed
+latency/throughput structure the Section 4.4 sensitivity studies use.
+"""
+
+import heapq
+from collections import deque
+
+from repro.memory.address import channel_of
+from repro.memory.request import OP_READ, OP_WRITE, MemoryResponse
+from repro.sim.engine import Component
+
+
+class _MemoryEndpoint(Component):
+    """Shared functional behaviour: apply requests, deliver responses."""
+
+    def __init__(self, memory, stats, name):
+        super().__init__(name)
+        self.memory = memory
+        self.stats = stats
+        self._due = []  # heap of (ready_cycle, seq, request)
+        self._retry = deque()  # responses blocked on a full reply FIFO
+        self._seq = 0
+
+    def _schedule(self, request, ready_cycle):
+        heapq.heappush(self._due, (ready_cycle, self._seq, request))
+        self._seq += 1
+
+    def _complete_due(self, now):
+        """Apply and respond to every request whose delay has elapsed."""
+        while self._due and self._due[0][0] <= now:
+            __, __, request = heapq.heappop(self._due)
+            self._apply(request)
+        while self._retry:
+            response, reply_to = self._retry[0]
+            if not reply_to.can_push():
+                break
+            reply_to.push(response)
+            self._retry.popleft()
+
+    def _apply(self, request):
+        if request.op == OP_READ:
+            self.stats.add(self.name + ".reads")
+            self.stats.add(self.name + ".read_words", request.words)
+            if request.words == 1:
+                value = self.memory.read_word(request.addr)
+            else:
+                value = self.memory.read_line(request.addr, request.words)
+        elif request.op == OP_WRITE:
+            self.stats.add(self.name + ".writes")
+            self.stats.add(self.name + ".write_words", request.words)
+            if request.words == 1:
+                self.memory.write_word(request.addr, request.value)
+            else:
+                self.memory.write_line(request.addr, request.value)
+            value = None
+        else:
+            raise ValueError(
+                "%s received non-read/write request %r; atomics must be "
+                "handled by a scatter-add unit" % (self.name, request)
+            )
+        if request.reply_to is not None:
+            response = MemoryResponse(
+                request.op, request.addr, value, tag=request.tag,
+                words=request.words,
+            )
+            # Queue behind earlier blocked responses to preserve delivery
+            # order (a fresh response must not overtake a retrying one).
+            if not self._retry and request.reply_to.can_push():
+                request.reply_to.push(response)
+            else:
+                self._retry.append((response, request.reply_to))
+
+    @property
+    def busy(self):
+        return bool(self._due) or bool(self._retry)
+
+
+class DRAMSystem(_MemoryEndpoint):
+    """Channel-interleaved DRAM with per-channel word throughput.
+
+    Each channel accepts a new transaction only when idle; a transaction of
+    *w* words occupies the channel for ``w * interval`` cycles, and its data
+    is available (and its functional effect applied) ``latency`` cycles
+    after the transfer completes.  Aggregate peak bandwidth is therefore
+    ``channels / interval`` words/cycle -- 38.4 GB/s with the Table 1
+    parameters.
+
+    Two detail levels (``config.dram_model``):
+
+    - ``"flat"`` -- every transaction pays the average ``dram_latency``
+      (the paper's simplification: "with memory access scheduling this
+      variance is kept small").
+    - ``"rowbuffer"`` -- each channel keeps one open row; accesses hitting
+      it pay ``dram_row_hit_latency``, conflicts pay
+      ``dram_row_miss_latency``.  ``config.dram_scheduling`` selects
+      in-order service or FR-FCFS (row hits first -- memory access
+      scheduling, Rixner et al. [34]).
+    """
+
+    #: Scheduler look-ahead window per channel (FR-FCFS).
+    SCHED_WINDOW = 8
+
+    def __init__(self, sim, config, memory, stats, name="dram"):
+        super().__init__(memory, stats, name)
+        self.channels = config.dram_channels
+        self.interval = config.dram_channel_interval
+        self.latency = config.dram_latency
+        self.line_words = config.cache_line_words
+        self.row_model = config.dram_model == "rowbuffer"
+        self.row_words = config.dram_row_words
+        self.hit_latency = config.dram_row_hit_latency
+        self.miss_latency = config.dram_row_miss_latency
+        self.frfcfs = config.dram_scheduling == "frfcfs"
+        self.req_in = sim.fifo(capacity=4 * self.channels, name=name + ".req_in")
+        self._channel_queues = [deque() for _ in range(self.channels)]
+        self._channel_free_at = [0] * self.channels
+        self._open_rows = [None] * self.channels
+        sim.register(self)
+
+    def _pick(self, queue, channel):
+        """Select the next transaction for a channel.
+
+        In-order takes the head.  FR-FCFS scans a small window for the
+        oldest request hitting the open row ("first ready"), falling back
+        to the oldest request.
+        """
+        if not self.row_model or not self.frfcfs:
+            return queue.popleft()
+        open_row = self._open_rows[channel]
+        limit = min(len(queue), self.SCHED_WINDOW)
+        for position in range(limit):
+            if queue[position].addr // self.row_words == open_row:
+                request = queue[position]
+                del queue[position]
+                self.stats.add(self.name + ".sched_reorders",
+                               1 if position else 0)
+                return request
+        return queue.popleft()
+
+    def _access_latency(self, request, channel):
+        if not self.row_model:
+            return self.latency
+        row = request.addr // self.row_words
+        if row == self._open_rows[channel]:
+            self.stats.add(self.name + ".row_hits")
+            return self.hit_latency
+        self._open_rows[channel] = row
+        self.stats.add(self.name + ".row_misses")
+        return self.miss_latency
+
+    def tick(self, now):
+        self._complete_due(now)
+        # Route arrived requests to their home channel (one per channel/cycle
+        # of routing bandwidth, which never binds in practice).
+        routed = 0
+        while len(self.req_in) and routed < self.channels:
+            request = self.req_in.pop()
+            channel = channel_of(request.addr, self.channels, self.line_words)
+            self._channel_queues[channel].append(request)
+            routed += 1
+        # Start one transaction per idle channel.
+        for channel in range(self.channels):
+            queue = self._channel_queues[channel]
+            if not queue or self._channel_free_at[channel] > now:
+                continue
+            request = self._pick(queue, channel)
+            transfer = request.words * self.interval
+            access = self._access_latency(request, channel)
+            # Under the row model a conflict also occupies the channel for
+            # the precharge/activate time, costing bandwidth, not just
+            # latency.
+            occupied = transfer
+            if self.row_model:
+                occupied += access - self.hit_latency
+            self._channel_free_at[channel] = now + occupied
+            self._schedule(request, now + transfer + access)
+            self.stats.add(self.name + ".busy_cycles", occupied)
+
+    @property
+    def busy(self):
+        return super().busy or any(self._channel_queues)
+
+
+class UniformMemory(_MemoryEndpoint):
+    """The sensitivity-study memory: fixed interval, fixed latency, no banks.
+
+    "Throughput is modeled by a fixed cycle interval between successive
+    memory word accesses, and latency by a fixed value which corresponds to
+    the average expected memory delay."  (Section 4.4)
+    """
+
+    def __init__(self, sim, config, memory, stats, name="mem"):
+        super().__init__(memory, stats, name)
+        self.interval = config.uniform_interval
+        self.latency = config.uniform_latency
+        self.req_in = sim.fifo(capacity=64, name=name + ".req_in")
+        self._free_at = 0
+        sim.register(self)
+
+    def tick(self, now):
+        self._complete_due(now)
+        if len(self.req_in) and self._free_at <= now:
+            request = self.req_in.pop()
+            transfer = request.words * self.interval
+            self._free_at = now + transfer
+            self._schedule(request, now + transfer + self.latency)
+            self.stats.add(self.name + ".busy_cycles", transfer)

@@ -1,0 +1,25 @@
+"""Multi-node scatter-add (Sections 3.2 and 4.5).
+
+A :class:`~repro.multinode.system.MultiNodeSystem` instantiates 2-8 Table 1
+nodes around an input-queued crossbar.  Atomicity across nodes holds
+because "a node can only directly access its own part of the global
+memory": every remote scatter-add is routed through the *home* node's
+scatter-add unit.
+
+With ``cache_combining=True`` the two-phase optimisation is enabled: remote
+scatter-adds combine in the local cache (lines allocated at zero), partial
+sums travel to the home node only on eviction (*sum-back*), and a final
+flush-with-sum-back synchronisation step completes the global sum.
+"""
+
+from repro.multinode.barrier import BarrierResult, ScatterAddBarrier
+from repro.multinode.interface import NodeInterface
+from repro.multinode.system import MultiNodeRun, MultiNodeSystem
+
+__all__ = [
+    "BarrierResult",
+    "MultiNodeRun",
+    "MultiNodeSystem",
+    "NodeInterface",
+    "ScatterAddBarrier",
+]

@@ -1,0 +1,93 @@
+"""System-wide synchronisation via scatter-add (Section 5 future work).
+
+"In future work we plan enhancements that will ... implement system wide
+synchronization primitives for SIMD architectures."
+
+The classic fetch-add barrier [NYU Ultracomputer] maps directly onto the
+scatter-add hardware: every node atomically increments a shared counter
+at its home node; the node whose fetch-add returns ``N-1`` is last and
+releases the others.  :class:`ScatterAddBarrier` builds this on the
+multi-node system and measures its cost -- arrival traffic funnels
+through one scatter-add unit (the counter's home bank), the release is a
+broadcast over the crossbar.
+"""
+
+from repro.network.crossbar import HOP_LATENCY
+from repro.node.program import FetchAdd
+
+
+class BarrierResult:
+    """Timing of one barrier episode."""
+
+    def __init__(self, config, arrival_cycles, release_cycles, order):
+        self.config = config
+        #: Cycles until the last fetch-add completed (all arrived).
+        self.arrival_cycles = arrival_cycles
+        #: Broadcast release latency after the last arrival.
+        self.release_cycles = release_cycles
+        #: Nodes in observed arrival order (deterministic per run).
+        self.order = order
+
+    @property
+    def cycles(self):
+        return self.arrival_cycles + self.release_cycles
+
+    @property
+    def microseconds(self):
+        return self.config.cycles_to_us(self.cycles)
+
+    def __repr__(self):
+        return "BarrierResult(%d nodes, %d cycles)" % (
+            len(self.order), self.cycles,
+        )
+
+
+class ScatterAddBarrier:
+    """A fetch-add barrier across the nodes of a MultiNodeSystem.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.multinode.system.MultiNodeSystem` to
+        synchronise.
+    counter_addr:
+        Word address of the barrier counter (its home node's scatter-add
+        unit serialises the arrivals).
+    """
+
+    def __init__(self, system, counter_addr=0):
+        self.system = system
+        self.counter_addr = counter_addr
+        self._episode = 0
+
+    def synchronise(self):
+        """Run one barrier episode; returns a :class:`BarrierResult`.
+
+        Each node's first address generator issues the arrival fetch-add;
+        the sim runs until every arrival's acknowledgement (carrying the
+        pre-increment value) has returned.
+        """
+        system = self.system
+        nodes = system.config.nodes
+        expected = float(self._episode * nodes)
+        start = system.sim.cycle
+        arrivals = []
+        for node in range(nodes):
+            op = FetchAdd([self.counter_addr], 1.0,
+                          name="barrier_arrive_n%d" % node)
+            arrivals.append(op)
+            system.agus[node][0].start(op)
+        system.sim.run()
+        arrival_cycles = system.sim.cycle - start
+        # Arrival order: the pre-increment ticket each node received.
+        tickets = [op.result[0] - expected for op in arrivals]
+        order = sorted(range(nodes), key=lambda node: tickets[node])
+        if sorted(tickets) != [float(i) for i in range(nodes)]:
+            raise AssertionError(
+                "barrier tickets not a dense permutation: %r" % (tickets,))
+        # Release: the last arriver broadcasts over the crossbar; every
+        # other node observes it one switch traversal later.
+        release_cycles = HOP_LATENCY if nodes > 1 else 0
+        self._episode += 1
+        return BarrierResult(system.config, arrival_cycles,
+                             release_cycles, order)

@@ -1,0 +1,186 @@
+"""The multi-node system: N Table-1 nodes around an input-queued crossbar.
+
+Global memory is block-partitioned across nodes (each node owns a
+contiguous range of the target array).  Every node runs the single-node
+memory system unchanged; a :class:`~repro.multinode.interface.NodeInterface`
+in front of each decides whether a request is local, crosses the network to
+its home node's scatter-add unit, or (cache combining) accumulates locally.
+
+:meth:`MultiNodeSystem.scatter_add` reproduces the Section 4.5 methodology:
+the update trace is equally partitioned across the nodes, the run ends when
+every addition has reached its home memory -- including, under combining,
+the final flush-with-sum-back synchronisation step -- and throughput is
+reported in additions' bytes per wall-clock time (GB/s at 1 GHz), the
+y-axis of Figure 13.
+"""
+
+import math
+
+import numpy as np
+
+from repro.config import WORD_BYTES
+from repro.multinode.interface import NodeInterface
+from repro.network.crossbar import Crossbar
+from repro.node.agu import AddressGeneratorUnit
+from repro.node.memsys import MemorySystem
+from repro.node.program import ScatterAdd
+from repro.memory.backing import MainMemory
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+class MultiNodeRun:
+    """Outcome of a multi-node scatter-add."""
+
+    def __init__(self, config, cycles, refs, result, stats):
+        self.config = config
+        self.cycles = cycles
+        self.refs = refs
+        self.result = result
+        self.stats = stats
+
+    @property
+    def microseconds(self):
+        return self.config.cycles_to_us(self.cycles)
+
+    @property
+    def throughput_gbs(self):
+        """Scatter-add bandwidth in GB/s (Figure 13's y-axis)."""
+        if self.cycles == 0:
+            return 0.0
+        words_per_cycle = self.refs / self.cycles
+        return words_per_cycle * WORD_BYTES * self.config.frequency_ghz
+
+    @property
+    def additions_per_cycle(self):
+        return self.refs / self.cycles if self.cycles else 0.0
+
+    def __repr__(self):
+        return "MultiNodeRun(%d nodes, %d cycles, %.1f GB/s)" % (
+            self.config.nodes, self.cycles, self.throughput_gbs,
+        )
+
+
+class MultiNodeSystem:
+    """N stream-processor nodes, a crossbar, and block-partitioned memory."""
+
+    def __init__(self, config, address_space):
+        if config.nodes < 1:
+            raise ValueError("need at least one node")
+        self.config = config
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.memory = MainMemory()
+        line = config.cache_line_words
+        per_node = int(math.ceil(address_space / config.nodes / line)) * line
+        self.words_per_node = max(per_node, line)
+        nodes = config.nodes
+
+        def home_of(addr, _w=self.words_per_node, _n=nodes):
+            return min(addr // _w, _n - 1)
+
+        self.home_of = home_of
+
+        self.agus = []
+        self.interfaces = []
+        self.memsystems = []
+        remote_ins = []
+        for node in range(nodes):
+            node_agus = [
+                self.sim.register(AddressGeneratorUnit(
+                    self.sim, config, self.stats,
+                    name="node%d.agu%d" % (node, index),
+                ))
+                for index in range(config.address_generators)
+            ]
+            self.agus.append(node_agus)
+            interface = NodeInterface(self.sim, config, self.stats, node,
+                                      home_of)
+            self.sim.register(interface)
+            self.interfaces.append(interface)
+            remote_in = self.sim.fifo(
+                capacity=4 * config.network_bw_words,
+                name="node%d.remote_in" % node,
+            )
+            remote_ins.append(remote_in)
+            memsys = MemorySystem(
+                self.sim, config, self.stats,
+                sources=[interface.local_out, remote_in],
+                memory=self.memory,
+                sumback_sink=interface.send_sumback,
+                name="node%d" % node,
+            )
+            self.memsystems.append(memsys)
+
+        self.crossbar = Crossbar(
+            self.sim, self.stats, nodes, config.network_bw_words,
+            dest_of=home_of, outputs=remote_ins,
+        )
+        self.sim.register(self.crossbar)
+        for node in range(nodes):
+            self.interfaces[node].connect(
+                sources=[agu.out for agu in self.agus[node]],
+                net_out=self.crossbar.inputs[node],
+            )
+
+    # ------------------------------------------------------------------ #
+    def load_array(self, base, array):
+        self.memory.load_array(base, array)
+
+    def scatter_add(self, indices, values=1.0, num_targets=None, base=0):
+        """Run a scatter-add trace partitioned equally across the nodes."""
+        indices = np.asarray(indices, dtype=np.int64)
+        count = len(indices)
+        if num_targets is None:
+            num_targets = int(indices.max()) + 1 if count else 0
+        if np.isscalar(values):
+            value_array = np.full(count, float(values))
+        else:
+            value_array = np.asarray(values, dtype=np.float64)
+
+        nodes = self.config.nodes
+        slice_size = int(math.ceil(count / nodes)) if count else 0
+        start_cycle = self.sim.cycle
+        for node in range(nodes):
+            lo = node * slice_size
+            hi = min(count, lo + slice_size)
+            if lo >= hi:
+                continue
+            # Split the node's slice across its address generators.
+            node_agus = self.agus[node]
+            agu_chunk = int(math.ceil((hi - lo) / len(node_agus)))
+            for position, agu in enumerate(node_agus):
+                alo = lo + position * agu_chunk
+                ahi = min(hi, alo + agu_chunk)
+                if alo >= ahi:
+                    continue
+                op = ScatterAdd(
+                    [base + int(i) for i in indices[alo:ahi]],
+                    list(value_array[alo:ahi]),
+                )
+                agu.start(op)
+        self.sim.run()
+        if self.config.cache_combining:
+            # Flush-with-sum-back synchronisation step (Section 3.2).
+            # Hierarchical combining deposits partial sums at intermediate
+            # tree nodes, so flushing repeats until no dirty combining
+            # delta remains anywhere (at most ~log2(N) waves).
+            for _ in range(2 * self.config.nodes + 2):
+                for memsys in self.memsystems:
+                    for bank in memsys.banks:
+                        bank.request_flush()
+                self.sim.run()
+                if not any(bank.has_combining_state
+                           for memsys in self.memsystems
+                           for bank in memsys.banks):
+                    break
+            else:
+                raise RuntimeError(
+                    "combining flush did not converge; partial sums stuck"
+                )
+        cycles = self.sim.cycle - start_cycle
+
+        for memsys in self.memsystems:
+            memsys.drain_to_memory()
+        result = self.memory.export_array(base, num_targets)
+        return MultiNodeRun(self.config, cycles, count, result, self.stats)

@@ -1,0 +1,11 @@
+"""Interconnection network for the multi-node system (Section 4.5).
+
+"The network we model is an input-queued crossbar with back-pressure."
+Per-node bandwidth is configurable: the paper evaluates 1 word/cycle
+("low") and 8 words/cycle ("high", enough to satisfy scatter-add requests
+at full bandwidth).
+"""
+
+from repro.network.crossbar import Crossbar
+
+__all__ = ["Crossbar"]

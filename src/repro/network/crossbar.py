@@ -1,0 +1,70 @@
+"""Input-queued crossbar with back-pressure.
+
+Each node owns one input port (a bounded FIFO) and one output port (the
+destination node's ``remote_in`` FIFO).  Per cycle, every input port may
+inject up to ``bw_words`` requests and every output port may accept up to
+``bw_words`` -- the per-node network bandwidth limit the paper sweeps
+("low" = 1 word/cycle, "high" = 8).  A blocked head-of-queue request
+stalls its whole input port: classic input-queued head-of-line blocking,
+which is part of why the low-bandwidth configurations stop scaling.
+
+Requests traverse the switch with a fixed pipeline latency.
+"""
+
+from repro.sim.engine import Component
+
+#: Fixed switch traversal latency in cycles (arbitration + flight time).
+HOP_LATENCY = 16
+
+
+class Crossbar(Component):
+    """N-port input-queued crossbar."""
+
+    def __init__(self, sim, stats, nodes, bw_words, dest_of, outputs,
+                 name="xbar"):
+        super().__init__(name)
+        self.stats = stats
+        self.nodes = nodes
+        self.bw_words = bw_words
+        self.dest_of = dest_of
+        self.outputs = outputs  # list of destination FIFOs, one per node
+        self.inputs = [
+            sim.fifo(capacity=4 * bw_words, name="%s.in%d" % (name, port))
+            for port in range(nodes)
+        ]
+        self._pipes = [
+            sim.pipe(HOP_LATENCY, name="%s.pipe%d" % (name, port))
+            for port in range(nodes)
+        ]
+
+    def tick(self, now):
+        # Deliver requests that finished traversing the switch.
+        for dest, pipe in enumerate(self._pipes):
+            while pipe.ready():
+                if not self.outputs[dest].can_push():
+                    break
+                self.outputs[dest].push(pipe.pop())
+        # Arbitrate: each input injects up to bw_words; each output accepts
+        # up to bw_words.
+        out_budget = [self.bw_words] * self.nodes
+        for port in range(self.nodes):
+            source = self.inputs[port]
+            injected = 0
+            while len(source) and injected < self.bw_words:
+                request = source.peek()
+                if request.route_to is not None:
+                    dest = request.route_to
+                else:
+                    dest = self.dest_of(request.addr)
+                if out_budget[dest] <= 0 or not self._pipes[dest].can_push():
+                    self.stats.add(self.name + ".hol_blocks")
+                    break  # head-of-line blocking
+                self._pipes[dest].push(source.pop(), now)
+                out_budget[dest] -= 1
+                injected += 1
+                self.stats.add(self.name + ".words")
+                self.stats.add("%s.words_to%d" % (self.name, dest))
+
+    @property
+    def busy(self):
+        return False  # FIFOs and pipes carry all pending state

@@ -1,0 +1,45 @@
+"""Single-node stream processor model (one Merrimac node, Section 4.2).
+
+The node executes *stream programs* -- sequences of phases containing
+memory stream operations (gather / scatter / scatter-add) and compute
+kernels.  Memory operations are issued by
+:class:`~repro.node.agu.AddressGeneratorUnit` instances through a
+:class:`~repro.node.router.Router` into the banked memory system
+(:class:`~repro.node.memsys.MemorySystem`), and are simulated cycle by
+cycle.  Kernels run on the cluster array and are costed analytically by
+:class:`~repro.node.cluster.ClusterArray` (the paper's 16 clusters x 4
+multiply-adds; kernel time is deterministic SIMD work, so an analytic
+model is accurate).
+"""
+
+from repro.node.agu import AddressGeneratorUnit, StreamMemOp
+from repro.node.cluster import ClusterArray
+from repro.node.memsys import MemorySystem
+from repro.node.processor import ProgramResult, StreamProcessor
+from repro.node.program import (
+    Bulk,
+    Gather,
+    Kernel,
+    Phase,
+    Scatter,
+    ScatterAdd,
+    StreamProgram,
+)
+from repro.node.router import Router
+
+__all__ = [
+    "AddressGeneratorUnit",
+    "Bulk",
+    "ClusterArray",
+    "Gather",
+    "Kernel",
+    "MemorySystem",
+    "Phase",
+    "ProgramResult",
+    "Router",
+    "Scatter",
+    "ScatterAdd",
+    "StreamMemOp",
+    "StreamProcessor",
+    "StreamProgram",
+]

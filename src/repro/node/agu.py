@@ -1,0 +1,147 @@
+"""Address generator units.
+
+The memory-system address generators of the DPA "produce a vector (referred
+to as a stream in some architectures) of memory addresses ... along with a
+vector of values to be summed" (Section 3.2).  Each AGU executes one
+:class:`StreamMemOp` at a time, issuing up to its per-cycle width of word
+requests into the router and retiring the operation when every request has
+been acknowledged (for scatter-add, the acknowledgement arrives once the
+sum has been computed in the scatter-add unit -- step 6 of Figure 4).
+"""
+
+from collections import deque
+
+from repro.memory.request import (
+    OP_FETCH_ADD,
+    OP_READ,
+    OP_SCATTER_ADD,
+    OP_WRITE,
+    MemoryRequest,
+)
+from repro.sim.engine import Component
+
+_KIND_TO_OP = {
+    "gather": OP_READ,
+    "scatter": OP_WRITE,
+    "scatter_add": OP_SCATTER_ADD,
+    "fetch_add": OP_FETCH_ADD,
+}
+
+
+class StreamMemOp:
+    """One memory stream operation: a vector of addresses (and values).
+
+    Parameters
+    ----------
+    kind:
+        ``"gather"``, ``"scatter"``, ``"scatter_add"``, ``"fetch_add"``, or
+        any ``OP_*`` atomic constant (for the min/max/mul extensions).
+    addrs:
+        Sequence of word addresses.
+    values:
+        Sequence of operands (scatter/atomics), or a scalar broadcast to
+        every address -- the paper's second ``scatterAdd`` signature -- or
+        ``None`` for gathers.
+    combining:
+        Multi-node cache-combining hint, forwarded on every request.
+    """
+
+    def __init__(self, kind, addrs, values=None, combining=False, name=""):
+        self.op = _KIND_TO_OP.get(kind, kind)
+        self.addrs = addrs
+        self.values = values
+        self.combining = combining
+        self.name = name or kind
+        self.result = [None] * len(addrs) if self._wants_data else None
+        self.done = False
+        self.start_cycle = None
+        self.end_cycle = None
+
+    @property
+    def _wants_data(self):
+        return self.op in (OP_READ, OP_FETCH_ADD)
+
+    def __len__(self):
+        return len(self.addrs)
+
+    def value_at(self, index):
+        if self.values is None:
+            return 0.0
+        try:
+            return self.values[index]
+        except TypeError:  # scalar broadcast
+            return self.values
+
+    def __repr__(self):
+        return "StreamMemOp(%s, %d refs, done=%r)" % (
+            self.op, len(self.addrs), self.done,
+        )
+
+
+class AddressGeneratorUnit(Component):
+    """Issues one stream memory operation at a time into the router."""
+
+    def __init__(self, sim, config, stats, name="agu"):
+        super().__init__(name)
+        self.stats = stats
+        self.width = config.agu_words_per_cycle
+        self.out = sim.fifo(capacity=2 * self.width, name=name + ".out")
+        self.ack_in = sim.fifo(capacity=None, name=name + ".ack_in")
+        self._queue = deque()
+        self._current = None
+        self._next_index = 0
+        self._acked = 0
+
+    def start(self, op):
+        """Enqueue a stream operation (runs after earlier ones finish)."""
+        self._queue.append(op)
+
+    @property
+    def idle(self):
+        return self._current is None and not self._queue
+
+    def tick(self, now):
+        self._collect_acks()
+        if self._current is None and self._queue:
+            self._current = self._queue.popleft()
+            self._current.start_cycle = now
+            self._next_index = 0
+            self._acked = 0
+        op = self._current
+        if op is None:
+            return
+        issued = 0
+        total = len(op)
+        while (self._next_index < total and issued < self.width
+               and self.out.can_push()):
+            index = self._next_index
+            request = MemoryRequest(
+                op.op,
+                op.addrs[index],
+                value=op.value_at(index),
+                reply_to=self.ack_in,
+                tag=(op, index),
+                combining=op.combining,
+            )
+            self.out.push(request)
+            self._next_index += 1
+            issued += 1
+        if issued:
+            self.stats.add(self.name + ".refs", issued)
+            self.stats.add("memsys.refs", issued)
+        if self._next_index >= total and self._acked >= total:
+            op.done = True
+            op.end_cycle = now
+            self._current = None
+
+    def _collect_acks(self):
+        while len(self.ack_in):
+            response = self.ack_in.pop()
+            op, index = response.tag
+            if op.result is not None:
+                op.result[index] = response.value
+            self._acked += 1
+
+    @property
+    def busy(self):
+        return self._current is not None or bool(self._queue)

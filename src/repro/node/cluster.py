@@ -1,0 +1,49 @@
+"""Analytic cost model of the compute-cluster array.
+
+Merrimac's 16 clusters execute up to 4 floating-point multiply-adds each
+per cycle -- 128 FLOP/cycle (Table 1) -- fed from the SRF at 64
+words/cycle.  Kernel execution is deterministic SIMD work over streams, so
+its duration is well modelled analytically:
+
+    cycles(kernel) = overhead + max(fp_ops / peak_flops,
+                                    srf_words / srf_bandwidth)
+
+The fixed per-kernel ``overhead`` covers microcode issue and SRF stream
+set-up, the cost the paper credits for the optimal sort batch size of 256
+("smaller batches do not amortize the latency of starting a stream
+operation").
+"""
+
+import math
+
+
+class ClusterArray:
+    """Kernel timing and operation accounting for one node."""
+
+    def __init__(self, config, stats):
+        self.config = config
+        self.stats = stats
+
+    def kernel_cycles(self, kernel):
+        """Execution time of one kernel, in cycles (including overhead)."""
+        achieved = self.config.peak_flops_per_cycle * kernel.efficiency
+        compute = kernel.fp_ops / achieved
+        bandwidth = kernel.srf_words / self.config.srf_words_per_cycle
+        busy = max(compute, bandwidth)
+        counter = "cluster.int_ops" if kernel.integer else "cluster.fp_ops"
+        self.stats.add(counter, kernel.fp_ops)
+        self.stats.add("cluster.kernels", kernel.launches)
+        overhead = self.config.stream_op_overhead * kernel.launches
+        return overhead + int(math.ceil(busy))
+
+    def bulk_cycles(self, bulk):
+        """Time for one analytic sequential memory stream, in cycles."""
+        if bulk.cached:
+            bandwidth = self.config.cache_words_per_cycle
+        else:
+            bandwidth = self.config.dram_words_per_cycle
+        self.stats.add("memsys.refs", bulk.words)
+        self.stats.add("memsys.bulk_words", bulk.words)
+        return self.config.stream_op_overhead + int(
+            math.ceil(bulk.words / bandwidth)
+        )

@@ -1,0 +1,122 @@
+"""The single-node stream processor: ties AGUs, memory system and clusters.
+
+Executes :class:`~repro.node.program.StreamProgram` objects phase by phase.
+Memory stream operations are simulated cycle-accurately through the banked
+memory system; kernels are costed analytically on the cluster array; a
+phase takes as long as its slowest member (memory streams and kernels
+overlap, as stream architectures software-pipeline them), and phases run
+back to back.
+"""
+
+from repro.node.agu import AddressGeneratorUnit
+from repro.node.cluster import ClusterArray
+from repro.node.memsys import MemorySystem
+from repro.node.program import StreamProgram
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+class ProgramResult:
+    """Outcome of running a stream program on the simulated node."""
+
+    def __init__(self, config, cycles, stats, phase_cycles):
+        self.config = config
+        self.cycles = cycles
+        self.stats = stats
+        self.phase_cycles = phase_cycles
+
+    @property
+    def microseconds(self):
+        return self.config.cycles_to_us(self.cycles)
+
+    @property
+    def mem_refs(self):
+        """Word references issued by the application to the memory system."""
+        return int(self.stats.get("memsys.refs"))
+
+    @property
+    def fp_ops(self):
+        """Floating-point operations: kernels plus scatter-add FU sums."""
+        return int(self.stats.get("cluster.fp_ops") + self.stats.total("fu"))
+
+    def __repr__(self):
+        return "ProgramResult(%d cycles, %.3f us)" % (
+            self.cycles, self.microseconds,
+        )
+
+
+class StreamProcessor:
+    """One simulated node executing stream programs."""
+
+    def __init__(self, config, chaining=True, memory=None):
+        self.config = config
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.agus = [
+            self.sim.register(
+                AddressGeneratorUnit(self.sim, config, self.stats,
+                                     name="agu%d" % index)
+            )
+            for index in range(config.address_generators)
+        ]
+        self.memsys = MemorySystem(
+            self.sim, config, self.stats,
+            sources=[agu.out for agu in self.agus],
+            memory=memory, chaining=chaining,
+        )
+        self.clusters = ClusterArray(config, self.stats)
+
+    # ------------------------------------------------------------------ #
+    def load_array(self, base, array):
+        """Initialise backing memory with `array` at word address `base`."""
+        self.memsys.memory.load_array(base, array)
+
+    def read_result(self, base, length):
+        """Final memory contents (dirty cache state flushed functionally)."""
+        return self.memsys.read_result(base, length)
+
+    # ------------------------------------------------------------------ #
+    def run(self, program):
+        """Execute `program`; returns a :class:`ProgramResult`."""
+        if not isinstance(program, StreamProgram):
+            program = StreamProgram(program)
+        phase_cycles = []
+        for phase in program:
+            mem_cycles = self._run_mem_phase(phase.mem_ops)
+            kernel_cycles = sum(
+                self.clusters.kernel_cycles(kernel) for kernel in phase.kernels
+            )
+            bulk_cycles = sum(
+                self.clusters.bulk_cycles(bulk) for bulk in phase.bulk_ops
+            )
+            phase_cycles.append(max(mem_cycles, kernel_cycles, bulk_cycles))
+        total = sum(phase_cycles)
+        return ProgramResult(self.config, total, self.stats, phase_cycles)
+
+    def _run_mem_phase(self, mem_ops):
+        if not mem_ops:
+            return 0
+        agu_load = [0] * len(self.agus)
+        for index, op in enumerate(mem_ops):
+            agu = index % len(self.agus)
+            self.agus[agu].start(op)
+            agu_load[agu] += 1
+        start = self.sim.cycle
+        end = self.sim.run()
+        # Per-op launch overhead; ops on one AGU serialise their overheads.
+        overhead = self.config.stream_op_overhead * max(agu_load)
+        self.stats.add("memsys.stream_ops", len(mem_ops))
+        return (end - start) + overhead
+
+    # ------------------------------------------------------------------ #
+    def scatter_add_cycles(self, addrs, values=1.0, base=0):
+        """Convenience: simulate a single scatterAdd stream op.
+
+        Returns (cycles, result_read_callback); used by the histogram
+        experiments where the scatter-add itself is the unit under test.
+        """
+        from repro.node.program import Phase, ScatterAdd
+
+        op = ScatterAdd(addrs, values)
+        result = self.run(StreamProgram([Phase([op])]))
+        return result

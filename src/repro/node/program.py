@@ -1,0 +1,156 @@
+"""Stream-program abstraction.
+
+A :class:`StreamProgram` is a sequence of :class:`Phase` objects; ops inside
+a phase execute concurrently (memory streams on the AGUs, at most one
+kernel on the cluster array), and phases execute back to back.  This is the
+gather -> compute -> scatter decomposition of Section 3.1, with scatter-add
+as the third phase's memory operation where the algorithm calls for it.
+
+Each op carries the paper's ``stream_op_overhead`` (instruction issue, SRF
+allocation, memory-pipeline priming) -- the cost that makes short streams
+inefficient and sets the optimal software sort batch size.
+"""
+
+from repro.node.agu import StreamMemOp
+
+
+class Gather(StreamMemOp):
+    """Read a vector of addresses into the SRF."""
+
+    def __init__(self, addrs, name="gather"):
+        super().__init__("gather", addrs, name=name)
+
+
+class Scatter(StreamMemOp):
+    """Write a vector of values to a vector of addresses (plain scatter)."""
+
+    def __init__(self, addrs, values, name="scatter"):
+        super().__init__("scatter", addrs, values, name=name)
+
+
+class ScatterAdd(StreamMemOp):
+    """The paper's scatterAdd: atomically add values at addresses.
+
+    `values` may be a vector or a scalar (the constant-increment form).
+    """
+
+    def __init__(self, addrs, values=1.0, combining=False, name="scatter_add"):
+        super().__init__("scatter_add", addrs, values, combining=combining,
+                         name=name)
+
+
+class FetchAdd(StreamMemOp):
+    """Parallel Fetch&Op extension (Section 3.3): returns pre-update values."""
+
+    def __init__(self, addrs, values, name="fetch_add"):
+        super().__init__("fetch_add", addrs, values, name=name)
+
+
+class Kernel:
+    """A compute kernel on the cluster array, costed analytically.
+
+    Parameters
+    ----------
+    fp_ops:
+        Total floating-point operations the kernel executes.
+    srf_words:
+        Total SRF words moved (in + out); kernels are SRF-bandwidth bound
+        when this dominates.
+    efficiency:
+        Achieved fraction of peak FLOP rate.  Dense, regular kernels reach
+        close to 1.0; irregular kernels with data-dependent control
+        (molecular-dynamics inner loops, sorting networks with key/value
+        movement) reach 0.3-0.5 on stream processors.
+    launches:
+        Number of kernel launches this op stands for; each launch pays the
+        stream-op overhead (multi-pass algorithms such as bitonic sort
+        cannot fuse all passes into one kernel).
+    integer:
+        Ops that are key compares/moves rather than floating-point
+        arithmetic (sorting networks, bin mapping).  They cost the same
+        execution time but are accounted separately, matching the paper's
+        "FP Operations" bars which exclude them.
+    """
+
+    def __init__(self, name, fp_ops, srf_words=0, efficiency=1.0, launches=1,
+                 integer=False):
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError("kernel efficiency must be in (0, 1]")
+        if launches < 1:
+            raise ValueError("kernel launches must be >= 1")
+        self.name = name
+        self.fp_ops = fp_ops
+        self.srf_words = srf_words
+        self.efficiency = efficiency
+        self.launches = launches
+        self.integer = integer
+
+    def __repr__(self):
+        return "Kernel(%r, fp_ops=%d, srf_words=%d, eff=%.2f, launches=%d)" % (
+            self.name, self.fp_ops, self.srf_words, self.efficiency,
+            self.launches,
+        )
+
+
+class Bulk:
+    """A long *sequential* memory stream, costed analytically.
+
+    Unit-stride streams (reading a dense matrix's value array, writing a
+    result vector) achieve full DRAM bandwidth under memory-access
+    scheduling [Rixner et al.], so per-word simulation adds nothing; the
+    op is costed at ``words / dram_bandwidth`` and accounted as `words`
+    memory references.  Irregular streams (gathers over computed indices,
+    scatter-adds) must use the simulated ops instead.
+
+    `cached` marks streams expected to hit in the stream cache (e.g. a
+    resident source vector), which are costed at cache bandwidth.
+    """
+
+    def __init__(self, name, words, cached=False):
+        if words < 0:
+            raise ValueError("words must be >= 0")
+        self.name = name
+        self.words = words
+        self.cached = cached
+
+    def __repr__(self):
+        return "Bulk(%r, words=%d, cached=%r)" % (
+            self.name, self.words, self.cached,
+        )
+
+
+class Phase:
+    """Ops that run concurrently; the phase ends when the slowest finishes."""
+
+    def __init__(self, ops, name=""):
+        self.ops = list(ops)
+        self.name = name
+
+    @property
+    def mem_ops(self):
+        return [op for op in self.ops if isinstance(op, StreamMemOp)]
+
+    @property
+    def kernels(self):
+        return [op for op in self.ops if isinstance(op, Kernel)]
+
+    @property
+    def bulk_ops(self):
+        return [op for op in self.ops if isinstance(op, Bulk)]
+
+
+class StreamProgram:
+    """A whole application: phases executed in order."""
+
+    def __init__(self, phases, name="program"):
+        self.phases = [
+            phase if isinstance(phase, Phase) else Phase(phase)
+            for phase in phases
+        ]
+        self.name = name
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    def __len__(self):
+        return len(self.phases)

@@ -1,0 +1,47 @@
+"""On-chip request router between the AGUs and the banked memory system.
+
+Moves word requests from the address generators' output FIFOs to the
+scatter-add unit in front of the owning cache bank, up to the stream
+cache's total bandwidth per cycle.  A full target FIFO head-of-line blocks
+its source for the cycle -- this is what turns a narrow index range into
+the *hot bank effect* of Figure 7 ("successive scatter-add requests map to
+the same cache bank, leaving some of the scatter-add units idle").
+"""
+
+from repro.sim.engine import Component
+
+
+class Router(Component):
+    """Crossbar from source FIFOs to target FIFOs, selected by address."""
+
+    def __init__(self, sim, config, stats, sources, targets, target_of,
+                 name="router", width=None):
+        super().__init__(name)
+        self.stats = stats
+        self.sources = list(sources)
+        self.targets = list(targets)
+        self.target_of = target_of
+        self.width = width if width is not None else config.cache_words_per_cycle
+        self._start = 0
+
+    def tick(self, now):
+        moved = 0
+        count = len(self.sources)
+        # Rotate the starting source each cycle for fairness.
+        for offset in range(count):
+            source = self.sources[(self._start + offset) % count]
+            while len(source) and moved < self.width:
+                request = source.peek()
+                target = self.targets[self.target_of(request.addr)]
+                if not target.can_push():
+                    self.stats.add(self.name + ".hol_blocks")
+                    break
+                target.push(source.pop())
+                moved += 1
+            if moved >= self.width:
+                break
+        self._start += 1
+
+    @property
+    def busy(self):
+        return False  # holds no state; FIFOs carry all pending work

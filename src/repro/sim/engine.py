@@ -1,0 +1,138 @@
+"""The cycle-driven simulation engine.
+
+A :class:`Simulator` owns a set of :class:`Component` instances and the
+:class:`~repro.sim.queues.FIFO`/:class:`~repro.sim.queues.LatencyPipe`
+channels connecting them.  Each simulated cycle it:
+
+1. advances every registered pipe (releasing entries whose latency elapsed),
+2. calls ``tick(cycle)`` on every component in registration order,
+3. syncs every FIFO (committing staged pushes for next-cycle visibility).
+
+The run terminates when every component reports idle and every channel is
+empty, or when an explicit cycle bound is reached.
+"""
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation reaches an inconsistent or unbounded state."""
+
+
+class Component:
+    """Base class for all simulated hardware blocks.
+
+    Subclasses override :meth:`tick` (do one cycle of work) and
+    :attr:`busy` (report whether internal work is pending).  Queue state is
+    tracked separately by the simulator, so ``busy`` only needs to cover
+    state held *inside* the component (e.g. an occupied combining store).
+    """
+
+    def __init__(self, name=""):
+        self.name = name or type(self).__name__
+
+    def tick(self, now):
+        """Perform one cycle of work at cycle `now`."""
+        raise NotImplementedError
+
+    @property
+    def busy(self):
+        """True while the component holds in-flight internal state."""
+        return False
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.name)
+
+
+class Simulator:
+    """Owns components and channels; advances simulated time.
+
+    Parameters
+    ----------
+    max_cycles:
+        Safety bound; a run exceeding it raises :class:`SimulationError`
+        rather than looping forever (the usual symptom of a deadlocked
+        back-pressure cycle in a model under development).
+    """
+
+    def __init__(self, max_cycles=200_000_000):
+        self.max_cycles = max_cycles
+        self.cycle = 0
+        self._components = []
+        self._fifos = []
+        self._pipes = []
+
+    def register(self, component):
+        """Add a component; returns it for chaining."""
+        self._components.append(component)
+        return component
+
+    def fifo(self, capacity=None, name=""):
+        """Create and register a FIFO owned by this simulator."""
+        from repro.sim.queues import FIFO
+
+        queue = FIFO(capacity=capacity, name=name)
+        self._fifos.append(queue)
+        return queue
+
+    def pipe(self, latency, bandwidth=None, name=""):
+        """Create and register a latency pipe owned by this simulator."""
+        from repro.sim.queues import LatencyPipe
+
+        pipe = LatencyPipe(latency, bandwidth=bandwidth, name=name)
+        self._pipes.append(pipe)
+        return pipe
+
+    def adopt_fifo(self, queue):
+        """Register an externally-constructed FIFO for syncing."""
+        self._fifos.append(queue)
+        return queue
+
+    def adopt_pipe(self, pipe):
+        """Register an externally-constructed pipe for advancing."""
+        self._pipes.append(pipe)
+        return pipe
+
+    @property
+    def quiescent(self):
+        """True when no component or channel holds pending work."""
+        if any(component.busy for component in self._components):
+            return False
+        if any(not queue.idle for queue in self._fifos):
+            return False
+        return all(pipe.idle for pipe in self._pipes)
+
+    def step(self):
+        """Advance exactly one cycle."""
+        now = self.cycle
+        for pipe in self._pipes:
+            pipe.advance(now)
+        for component in self._components:
+            component.tick(now)
+        for queue in self._fifos:
+            queue.sync()
+        self.cycle = now + 1
+
+    def run(self, until=None):
+        """Run until quiescent (or until cycle `until`); return final cycle.
+
+        The returned value is the cycle count at which the system was first
+        observed quiescent, i.e. the execution time of the work fed into the
+        model before the call.
+        """
+        bound = self.max_cycles if until is None else min(until, self.max_cycles)
+        while self.cycle < bound:
+            if self.quiescent:
+                return self.cycle
+            self.step()
+        if until is not None and self.cycle >= until:
+            return self.cycle
+        raise SimulationError(
+            "simulation exceeded max_cycles=%d without quiescing; "
+            "likely a back-pressure deadlock or unbounded request source"
+            % (self.max_cycles,)
+        )
+
+    def run_cycles(self, count):
+        """Advance exactly `count` cycles regardless of quiescence."""
+        for _ in range(count):
+            self.step()
+        return self.cycle

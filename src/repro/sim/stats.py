@@ -1,0 +1,84 @@
+"""Event counters shared by all simulated components.
+
+A single :class:`Stats` object is threaded through a model; components
+increment named counters (``stats.add("dram.reads")``).  Counters are plain
+integers/floats grouped by dotted names, with helpers for merging and
+pretty-printing, which the experiment harness uses to report the paper's
+"FP Operations" and "Mem References" bars (Figures 9 and 10).
+"""
+
+from collections import defaultdict
+
+
+class Stats:
+    """A flat bag of dotted-name counters."""
+
+    def __init__(self):
+        self._counters = defaultdict(float)
+
+    def add(self, name, amount=1):
+        """Increment counter `name` by `amount`."""
+        self._counters[name] += amount
+
+    def set(self, name, value):
+        """Set counter `name` to `value` exactly."""
+        self._counters[name] = value
+
+    def get(self, name, default=0):
+        """Read counter `name` (0 if never touched)."""
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name):
+        return self._counters.get(name, 0)
+
+    def __contains__(self, name):
+        return name in self._counters
+
+    def names(self):
+        """Sorted counter names."""
+        return sorted(self._counters)
+
+    def group(self, prefix):
+        """Return a dict of counters under ``prefix.`` with prefix stripped."""
+        full = prefix + "."
+        return {
+            name[len(full):]: value
+            for name, value in self._counters.items()
+            if name.startswith(full)
+        }
+
+    def total(self, prefix):
+        """Sum of all counters under ``prefix.`` (plus `prefix` itself)."""
+        full = prefix + "."
+        return sum(
+            value
+            for name, value in self._counters.items()
+            if name == prefix or name.startswith(full)
+        )
+
+    def merge(self, other):
+        """Add every counter from `other` into this object."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        return self
+
+    def as_dict(self):
+        """Snapshot as a plain dict."""
+        return dict(self._counters)
+
+    def report(self, prefix=None):
+        """Human-readable multi-line report, optionally filtered by prefix."""
+        lines = []
+        for name in self.names():
+            if prefix is not None and not (
+                name == prefix or name.startswith(prefix + ".")
+            ):
+                continue
+            value = self._counters[name]
+            if value == int(value):
+                value = int(value)
+            lines.append("%-48s %s" % (name, value))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "Stats(%d counters)" % (len(self._counters),)

@@ -1,0 +1,89 @@
+"""Privatization software scatter-add (Section 2.1).
+
+"The data is iterated over multiple times where each iteration computes
+the sum for a particular target address.  Since the addresses are treated
+individually and the sums stored in registers, or other named state,
+memory collisions are avoided.  This technique is useful when the range
+of target addresses is small, and its complexity is O(mn)."
+
+Each pass holds a block of
+:data:`~repro.software.costmodel.PRIVATIZATION_BINS_PER_PASS` accumulators
+in register state and streams the whole dataset through a
+compare-and-accumulate kernel; the block's final sums are then written out.
+"""
+
+import math
+
+import numpy as np
+
+from repro.node.processor import StreamProcessor
+from repro.node.program import Bulk, Gather, Kernel, Phase, Scatter, StreamProgram
+from repro.software import costmodel
+from repro.software.sortscan import SoftwareRun, _as_value_array
+
+
+class PrivatizationScatterAdd:
+    """O(m*n) software scatter-add with register-held private sums."""
+
+    def __init__(self, config, bins_per_pass=costmodel.PRIVATIZATION_BINS_PER_PASS):
+        if bins_per_pass < 1:
+            raise ValueError("bins_per_pass must be >= 1")
+        self.config = config
+        self.bins_per_pass = bins_per_pass
+
+    def run(self, indices, values=1.0, num_targets=None, initial=None,
+            base=0):
+        indices = np.asarray(indices, dtype=np.int64)
+        count = len(indices)
+        if num_targets is None:
+            num_targets = int(indices.max()) + 1 if count else 0
+        value_array = _as_value_array(values, count)
+
+        processor = StreamProcessor(self.config)
+        if initial is not None:
+            processor.load_array(base, np.asarray(initial, dtype=np.float64))
+
+        total_cycles = 0
+        passes = 0
+        if count and num_targets:
+            passes = int(math.ceil(num_targets / self.bins_per_pass))
+            for block in range(passes):
+                lo = block * self.bins_per_pass
+                hi = min(num_targets, lo + self.bins_per_pass)
+                mask = (indices >= lo) & (indices < hi)
+                block_sums = np.zeros(hi - lo)
+                np.add.at(block_sums, indices[mask] - lo, value_array[mask])
+
+                # Every element is tested against every privatized bin of
+                # this pass: n * bins ops, the O(mn) term.
+                ops = count * (hi - lo) * costmodel.PRIVATIZATION_OPS
+                # The dataset streams from memory once per pass (index and
+                # value streams are sequential).
+                total_cycles += processor.run(StreamProgram([
+                    Phase([
+                        Kernel("privatize", ops,
+                               efficiency=costmodel.PRIVATIZATION_EFFICIENCY,
+                               integer=True),
+                        Bulk("dataset", count, cached=True),
+                    ]),
+                ])).cycles
+                # Fold the block sums into memory (collision-free by
+                # construction; cost is negligible next to the O(mn) term).
+                touched = np.flatnonzero(block_sums) + lo
+                if len(touched):
+                    addrs = [base + int(i) for i in touched]
+                    gather_op = Gather(addrs, name="priv_gather")
+                    total_cycles += processor.run(
+                        StreamProgram([Phase([gather_op])])
+                    ).cycles
+                    updated = (np.asarray(gather_op.result)
+                               + block_sums[touched - lo])
+                    total_cycles += processor.run(StreamProgram([
+                        Phase([Scatter(addrs, list(updated),
+                                       name="priv_writeout")]),
+                    ])).cycles
+
+        result = processor.read_result(base, num_targets)
+        detail = {"passes": passes, "bins_per_pass": self.bins_per_pass}
+        return SoftwareRun(self.config, result, total_cycles,
+                           processor.stats, detail)

@@ -1,0 +1,34 @@
+"""Segmented scan over sorted (index, value) runs.
+
+After sorting a batch by target index, equal indices form contiguous
+segments; a segmented scan [Chatterjee, Blelloch & Zagha] reduces each
+segment in O(n) data-parallel work.  :func:`segmented_scan_sums` returns
+the per-segment sums plus the machine-operation count of the head-flag
+computation and up/down sweeps.
+"""
+
+import numpy as np
+
+from repro.software.costmodel import SCAN_OPS_PER_ELEM
+
+
+def segmented_scan_sums(sorted_keys, sorted_values):
+    """Reduce each run of equal keys in a sorted array.
+
+    Returns ``(unique_keys, segment_sums, ops)``.  The reduction itself is
+    performed with vectorised numpy (functionally identical to the up/down
+    sweep); `ops` charges the documented data-parallel cost of the scan.
+    """
+    sorted_keys = np.asarray(sorted_keys, dtype=np.int64)
+    sorted_values = np.asarray(sorted_values, dtype=np.float64)
+    n = len(sorted_keys)
+    if n == 0:
+        return sorted_keys.copy(), sorted_values.copy(), 0
+    heads = np.empty(n, dtype=bool)
+    heads[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=heads[1:])
+    starts = np.flatnonzero(heads)
+    unique_keys = sorted_keys[starts]
+    segment_sums = np.add.reduceat(sorted_values, starts)
+    ops = n * SCAN_OPS_PER_ELEM
+    return unique_keys, segment_sums, ops

@@ -1,0 +1,112 @@
+"""Data-parallel sorting primitives: bitonic network and block merges.
+
+:func:`bitonic_sort_pairs` executes a genuine bitonic sorting network
+(vectorised across the whole array per pass, exactly as a SIMD machine
+would), sorting a key array and carrying a value array along.
+:func:`dpa_sort_pairs` is the paper's "combination of a bitonic and merge
+sorting phases": bitonic networks on SRF-resident blocks, then pairwise
+merge passes.  Both return the operation counts the cost model charges.
+"""
+
+import numpy as np
+
+from repro.software.costmodel import BITONIC_BLOCK, CE_OPS, MERGE_OPS_PER_ELEM
+
+
+def _pad_to_power_of_two(keys, values):
+    n = len(keys)
+    if n == 0:
+        return keys, values, 0
+    size = 1 << (n - 1).bit_length()
+    if size == n:
+        return keys.copy(), values.copy(), n
+    pad_keys = np.full(size, np.iinfo(np.int64).max, dtype=np.int64)
+    pad_vals = np.zeros(size, dtype=values.dtype)
+    pad_keys[:n] = keys
+    pad_vals[:n] = values
+    return pad_keys, pad_vals, n
+
+
+def bitonic_sort_pairs(keys, values):
+    """Sort (keys, values) by key with a bitonic network.
+
+    Returns ``(sorted_keys, sorted_values, compare_exchanges)`` where the
+    last element counts the network's compare-exchange operations (data
+    independent -- the defining property that makes bitonic sort SIMD
+    friendly).
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if keys.shape != values.shape:
+        raise ValueError("keys and values must have equal length")
+    padded_keys, padded_values, n = _pad_to_power_of_two(keys, values)
+    size = len(padded_keys)
+    compare_exchanges = 0
+    if size > 1:
+        index = np.arange(size)
+        k = 2
+        while k <= size:
+            j = k >> 1
+            while j >= 1:
+                partner = index ^ j
+                mask = index < partner
+                ascending = (index & k) == 0
+                left_keys = padded_keys[index[mask]]
+                right_keys = padded_keys[partner[mask]]
+                swap = np.where(
+                    ascending[mask], left_keys > right_keys,
+                    left_keys < right_keys,
+                )
+                lo = index[mask][swap]
+                hi = partner[mask][swap]
+                padded_keys[lo], padded_keys[hi] = (
+                    padded_keys[hi].copy(), padded_keys[lo].copy(),
+                )
+                padded_values[lo], padded_values[hi] = (
+                    padded_values[hi].copy(), padded_values[lo].copy(),
+                )
+                compare_exchanges += size // 2
+                j >>= 1
+            k <<= 1
+    return padded_keys[:n], padded_values[:n], compare_exchanges
+
+
+def dpa_sort_pairs(keys, values, block=BITONIC_BLOCK):
+    """Bitonic-plus-merge sort, as the paper's software implementation.
+
+    Blocks of `block` elements are sorted with the bitonic network; sorted
+    blocks are then combined with pairwise merge passes.  Returns
+    ``(sorted_keys, sorted_values, ops)`` with `ops` the machine-operation
+    count (compare-exchanges times :data:`~repro.software.costmodel.CE_OPS`
+    plus merge-network work).
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    n = len(keys)
+    if n == 0:
+        return keys.copy(), values.copy(), 0
+    ops = 0
+    runs = []
+    for start in range(0, n, block):
+        sub_keys, sub_values, ces = bitonic_sort_pairs(
+            keys[start:start + block], values[start:start + block]
+        )
+        ops += ces * CE_OPS
+        runs.append((sub_keys, sub_values))
+    while len(runs) > 1:
+        merged = []
+        for i in range(0, len(runs), 2):
+            if i + 1 == len(runs):
+                merged.append(runs[i])
+                continue
+            left_k, left_v = runs[i]
+            right_k, right_v = runs[i + 1]
+            joined_k = np.concatenate([left_k, right_k])
+            joined_v = np.concatenate([left_v, right_v])
+            order = np.argsort(joined_k, kind="stable")
+            merged.append((joined_k[order], joined_v[order]))
+            # Odd-even merge network: every element passes through the
+            # network once per merge pass.
+            ops += len(joined_k) * MERGE_OPS_PER_ELEM
+        runs = merged
+    return runs[0][0], runs[0][1], ops

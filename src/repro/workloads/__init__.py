@@ -1,0 +1,41 @@
+"""The paper's three evaluation applications, built from scratch.
+
+- :mod:`~repro.workloads.histogram` -- the running example of Sections 1-3:
+  binning a dataset of uniform random integers.
+- :mod:`~repro.workloads.fem` / :mod:`~repro.workloads.spmv` -- sparse
+  matrix-vector multiply over a synthetic cubic-Lagrange tetrahedral
+  finite-element mesh (statistics matched to the paper's 9,978 x 9,978
+  matrix with 44.26 nnz/row from 1,916 tetrahedra), in both
+  compressed-sparse-row and element-by-element forms.
+- :mod:`~repro.workloads.md` -- a GROMACS-style non-bonded force kernel
+  over a synthetic box of 903 water molecules with cell-list neighbour
+  construction.
+- :mod:`~repro.workloads.traces` -- the scatter-add reference traces the
+  multi-node study of Section 4.5 uses (histogram narrow/wide, GROMACS,
+  SPAS).
+"""
+
+from repro.workloads.fem import TetMesh, build_tet_mesh
+from repro.workloads.histogram import HistogramWorkload, generate_dataset
+from repro.workloads.md import MDWorkload, WaterBox
+from repro.workloads.pic import PICDeposition
+from repro.workloads.spmv import SpMVWorkload
+from repro.workloads.traces import (
+    gromacs_trace,
+    histogram_trace,
+    spas_trace,
+)
+
+__all__ = [
+    "HistogramWorkload",
+    "MDWorkload",
+    "PICDeposition",
+    "SpMVWorkload",
+    "TetMesh",
+    "WaterBox",
+    "build_tet_mesh",
+    "generate_dataset",
+    "gromacs_trace",
+    "histogram_trace",
+    "spas_trace",
+]

@@ -1,0 +1,49 @@
+"""Scatter-add reference traces for the multi-node study (Section 4.5).
+
+"For Histogram we ran two separate data-sets, each with a total of 64K
+scatter-add references: narrow which has an index range of 256, and wide
+with a range of 1M.  GROMACS uses the first 590K references which span
+8,192 unique indices, and SPAS uses the full set of 38K references over
+10,240 indices of the EBE method."
+
+Each function returns ``(indices, num_targets)``.
+"""
+
+import numpy as np
+
+from repro.workloads.fem import build_tet_mesh
+from repro.workloads.histogram import generate_dataset
+from repro.workloads.md import MDWorkload
+
+NARROW_RANGE = 256
+WIDE_RANGE = 1 << 20
+HISTOGRAM_REFS = 64 << 10
+GROMACS_REFS = 590_000
+
+
+def histogram_trace(kind="narrow", refs=HISTOGRAM_REFS, seed=0):
+    """64K uniform references over a narrow (256) or wide (1M) range."""
+    if kind == "narrow":
+        index_range = NARROW_RANGE
+    elif kind == "wide":
+        index_range = WIDE_RANGE
+    else:
+        raise ValueError("kind must be 'narrow' or 'wide', got %r" % (kind,))
+    return generate_dataset(refs, index_range, seed), index_range
+
+
+def gromacs_trace(refs=GROMACS_REFS, molecules=903, seed=0):
+    """The first `refs` partner-force references of the MD kernel.
+
+    High locality (consecutive pairs share molecules) over ~3 * atoms
+    unique force words -- 8,127 indices for the paper's 903 molecules.
+    """
+    workload = MDWorkload(molecules=molecules, seed=seed)
+    indices, __ = workload.partner_updates()
+    return indices[:refs], workload.atoms * 3
+
+
+def spas_trace(mesh=None):
+    """The EBE scatter-add stream: elements x 20 references over the DOFs."""
+    mesh = mesh if mesh is not None else build_tet_mesh()
+    return mesh.element_nodes.reshape(-1).astype(np.int64), mesh.num_nodes

@@ -1,0 +1,100 @@
+"""Tests for the machine configuration (Table 1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import WORD_BYTES, MachineConfig
+
+
+class TestTable1Defaults:
+    def test_paper_values(self):
+        config = MachineConfig.table1()
+        assert config.cache_banks == 8
+        assert config.scatter_add_units_per_bank == 1
+        assert config.fu_latency == 4
+        assert config.combining_store_entries == 8
+        assert config.dram_channels == 16
+        assert config.address_generators == 2
+        assert config.frequency_ghz == 1.0
+        assert config.peak_dram_bw_gbs == 38.4
+        assert config.cache_bw_gbs == 64.0
+        assert config.clusters == 16
+        assert config.peak_flops_per_cycle == 128
+        assert config.srf_bw_gbs == 512.0
+        assert config.srf_size_bytes == 1 << 20
+        assert config.cache_size_bytes == 1 << 20
+
+    def test_derived_bandwidths(self):
+        config = MachineConfig.table1()
+        assert config.cache_words_per_cycle == 8  # 64 GB/s at 8B words
+        assert config.srf_words_per_cycle == 64  # 512 GB/s
+        assert config.dram_words_per_cycle == pytest.approx(4.8)
+        assert config.bank_words_per_cycle == 1
+        assert config.agu_words_per_cycle == 4
+
+    def test_cache_geometry(self):
+        config = MachineConfig.table1()
+        lines = config.cache_size_bytes // (config.cache_line_words
+                                            * WORD_BYTES)
+        assert config.cache_lines_total == lines
+        assert (config.cache_sets_per_bank * config.cache_associativity
+                * config.cache_banks == lines)
+
+    def test_cycle_conversion(self):
+        config = MachineConfig.table1()
+        assert config.cycles_to_us(1000) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_non_power_of_two_banks_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cache_banks=6)
+
+    def test_bad_memory_model_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(memory_model="magic")
+
+    @pytest.mark.parametrize("field,value", [
+        ("cache_banks", 0),
+        ("fu_latency", 0),
+        ("combining_store_entries", 0),
+        ("dram_channels", 0),
+        ("address_generators", 0),
+        ("uniform_interval", 0),
+        ("nodes", 0),
+        ("network_bw_words", 0),
+    ])
+    def test_positive_fields_enforced(self, field, value):
+        with pytest.raises(ValueError):
+            MachineConfig(**{field: value})
+
+    def test_frozen(self):
+        config = MachineConfig.table1()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.cache_banks = 4
+
+    def test_with_changes_revalidates(self):
+        config = MachineConfig.table1()
+        changed = config.with_changes(fu_latency=8)
+        assert changed.fu_latency == 8
+        assert config.fu_latency == 4
+        with pytest.raises(ValueError):
+            config.with_changes(fu_latency=0)
+
+
+class TestPresets:
+    def test_uniform_preset(self):
+        config = MachineConfig.uniform(latency=64, interval=4,
+                                       combining_store_entries=16)
+        assert config.memory_model == "uniform"
+        assert config.uniform_latency == 64
+        assert config.uniform_interval == 4
+        assert config.combining_store_entries == 16
+
+    def test_multinode_preset(self):
+        config = MachineConfig.multinode(4, network_bw_words=1,
+                                         cache_combining=True)
+        assert config.nodes == 4
+        assert config.network_bw_words == 1
+        assert config.cache_combining

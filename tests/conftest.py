@@ -1,0 +1,114 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.memory.backing import MainMemory
+from repro.memory.dram import UniformMemory
+from repro.core.unit import ScatterAddUnit
+from repro.sim.engine import Component, Simulator
+from repro.sim.stats import Stats
+
+
+@pytest.fixture
+def table1():
+    """The paper's base configuration."""
+    return MachineConfig.table1()
+
+
+@pytest.fixture
+def uniform_config():
+    """The sensitivity-study configuration (no cache, fixed memory)."""
+    return MachineConfig.uniform()
+
+
+@pytest.fixture
+def tiny_cache_config():
+    """A cached configuration with a very small cache, to force evictions."""
+    return MachineConfig(cache_size_bytes=4096, cache_associativity=2)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+class Feeder(Component):
+    """Test helper: drips requests into a FIFO respecting back-pressure."""
+
+    def __init__(self, target, requests, per_cycle=4):
+        super().__init__("feeder")
+        self.target = target
+        self.pending = list(reversed(requests))
+        self.per_cycle = per_cycle
+
+    def tick(self, now):
+        for _ in range(self.per_cycle):
+            if not self.pending or not self.target.can_push():
+                return
+            self.target.push(self.pending.pop())
+
+    @property
+    def busy(self):
+        return bool(self.pending)
+
+
+class Sink(Component):
+    """Test helper: drains a FIFO into a list every cycle."""
+
+    def __init__(self, sim, name="sink"):
+        super().__init__(name)
+        self.fifo = sim.fifo(name=name + ".in")
+        self.received = []
+
+    def tick(self, now):
+        while len(self.fifo):
+            self.received.append(self.fifo.pop())
+
+
+class UnitHarness:
+    """A scatter-add unit wired to a uniform memory, fed by a Feeder."""
+
+    def __init__(self, config=None, chaining=True):
+        self.config = config if config is not None else MachineConfig.uniform()
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.memory = MainMemory()
+        self.endpoint = UniformMemory(self.sim, self.config, self.memory,
+                                      self.stats)
+        self.unit = ScatterAddUnit(self.sim, self.config, self.stats,
+                                   self.endpoint.req_in, chaining=chaining)
+        self.sim.register(self.unit)
+        self.sink = Sink(self.sim)
+        self.sim.register(self.sink)
+
+    @property
+    def reply_fifo(self):
+        """FIFO to use as reply_to; delivered messages land in .responses."""
+        return self.sink.fifo
+
+    @property
+    def responses(self):
+        return self.sink.received
+
+    def run(self, requests):
+        """Feed requests through the unit and run to quiescence."""
+        feeder = Feeder(self.unit.req_in, requests)
+        self.sim.register(feeder)
+        return self.sim.run()
+
+
+@pytest.fixture
+def unit_harness():
+    return UnitHarness
+
+
+@pytest.fixture
+def feeder():
+    return Feeder
+
+
+@pytest.fixture
+def sink_factory():
+    return Sink

@@ -1,0 +1,27 @@
+"""Tests for the die-area model."""
+
+from repro.core.area import AreaModel
+
+
+class TestAreaModel:
+    def test_paper_base_configuration(self):
+        """Eight units must cost under 2% of the 10mm x 10mm die."""
+        model = AreaModel(units=8, combining_store_entries=8)
+        assert model.die_fraction < 0.02
+        assert abs(model.unit_area_mm2 - 0.2) < 1e-9
+
+    def test_area_scales_with_units(self):
+        assert (AreaModel(units=16).total_area_mm2
+                == 2 * AreaModel(units=8).total_area_mm2)
+
+    def test_area_grows_with_store_entries(self):
+        small = AreaModel(combining_store_entries=8)
+        large = AreaModel(combining_store_entries=64)
+        assert large.unit_area_mm2 > small.unit_area_mm2
+        # Even a 64-entry store stays cheap relative to the die.
+        assert large.die_fraction < 0.04
+
+    def test_summary_mentions_percentage(self):
+        text = AreaModel().summary()
+        assert "%" in text
+        assert "mm^2" in text

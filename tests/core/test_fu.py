@@ -1,0 +1,71 @@
+"""Tests for the pipelined functional unit."""
+
+import pytest
+
+from repro.core.fu import AddPipeline
+from repro.memory.request import (
+    OP_SCATTER_ADD,
+    OP_SCATTER_MAX,
+    OP_SCATTER_MIN,
+    OP_SCATTER_MUL,
+)
+
+
+class TestAddPipeline:
+    def test_result_after_latency(self):
+        fu = AddPipeline(latency=4)
+        fu.issue(OP_SCATTER_ADD, 1.0, 2.0, meta="m", now=0)
+        for now in range(4):
+            assert fu.completed(now) is None
+        result, old, meta = fu.completed(4)
+        assert result == 3.0
+        assert old == 1.0
+        assert meta == "m"
+
+    def test_single_issue_per_cycle(self):
+        fu = AddPipeline(latency=2)
+        fu.issue(OP_SCATTER_ADD, 0.0, 1.0, None, now=0)
+        assert not fu.can_issue(0)
+        with pytest.raises(OverflowError):
+            fu.issue(OP_SCATTER_ADD, 0.0, 1.0, None, now=0)
+        assert fu.can_issue(1)
+
+    def test_fully_pipelined(self):
+        fu = AddPipeline(latency=4)
+        for now in range(8):
+            fu.issue(OP_SCATTER_ADD, float(now), 1.0, now, now=now)
+            done = fu.completed(now)
+            if now >= 4:
+                assert done is not None
+                assert done[2] == now - 4
+        assert fu.total_ops == 8
+
+    def test_results_in_issue_order(self):
+        fu = AddPipeline(latency=1)
+        fu.issue(OP_SCATTER_ADD, 0.0, 1.0, "a", now=0)
+        fu.issue(OP_SCATTER_ADD, 0.0, 2.0, "b", now=1)
+        assert fu.completed(1)[2] == "a"
+        assert fu.completed(2)[2] == "b"
+
+    def test_extended_operations(self):
+        fu = AddPipeline(latency=1)
+        cases = [
+            (OP_SCATTER_MIN, 3.0, 1.0, 1.0),
+            (OP_SCATTER_MAX, 3.0, 5.0, 5.0),
+            (OP_SCATTER_MUL, 3.0, 2.0, 6.0),
+        ]
+        for now, (op, old, operand, expected) in enumerate(cases):
+            fu.issue(op, old, operand, None, now=now)
+            assert fu.completed(now + 1)[0] == expected
+
+    def test_busy_tracks_in_flight(self):
+        fu = AddPipeline(latency=3)
+        assert not fu.busy
+        fu.issue(OP_SCATTER_ADD, 0.0, 1.0, None, now=0)
+        assert fu.busy
+        fu.completed(3)
+        assert not fu.busy
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            AddPipeline(latency=0)

@@ -1,0 +1,97 @@
+"""Tests for parallel queue allocation via fetch-add (Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MachineConfig
+from repro.core.queue import ParallelQueueAllocator
+
+
+class TestParallelQueueAllocator:
+    def test_slots_dense_and_unique_per_queue(self, rng, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=4)
+        queue_ids = rng.integers(0, 4, size=200)
+        allocation = allocator.allocate(queue_ids)
+        for queue in range(4):
+            slots = sorted(allocation.slots[queue_ids == queue])
+            assert slots == list(range(len(slots)))
+
+    def test_counts_match_occupancy(self, rng, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=8)
+        queue_ids = rng.integers(0, 8, size=300)
+        allocation = allocator.allocate(queue_ids)
+        expected = np.bincount(queue_ids, minlength=8)
+        assert np.array_equal(allocation.counts, expected)
+
+    def test_empty_allocation(self, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=2)
+        allocation = allocator.allocate([])
+        assert list(allocation.counts) == [0, 0]
+
+    def test_single_queue_serialises_correctly(self, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=1)
+        allocation = allocator.allocate(np.zeros(64, dtype=np.int64))
+        assert sorted(allocation.slots) == list(range(64))
+
+    def test_queue_id_out_of_range(self, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=2)
+        with pytest.raises(IndexError):
+            allocator.allocate([0, 2])
+
+    def test_invalid_queue_count(self, table1):
+        with pytest.raises(ValueError):
+            ParallelQueueAllocator(table1, num_queues=0)
+
+    def test_timing_reported(self, rng, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=4)
+        allocation = allocator.allocate(rng.integers(0, 4, size=100))
+        assert allocation.cycles > 0
+        assert allocation.microseconds == pytest.approx(
+            allocation.cycles / 1000.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=150))
+    def test_property_permutation_within_queue(self, queue_ids):
+        allocator = ParallelQueueAllocator(MachineConfig.table1(),
+                                           num_queues=6)
+        queue_ids = np.asarray(queue_ids)
+        allocation = allocator.allocate(queue_ids)
+        for queue in range(6):
+            slots = sorted(allocation.slots[queue_ids == queue])
+            assert slots == list(range(len(slots)))
+
+
+class TestScatterToQueues:
+    def test_values_land_in_their_queue(self, rng, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=3)
+        queue_ids = rng.integers(0, 3, size=90)
+        values = np.arange(90, dtype=np.float64) + 1000
+        allocation, image = allocator.scatter_to_queues(
+            queue_ids, values, capacity=64)
+        for queue in range(3):
+            expected = sorted(values[queue_ids == queue])
+            count = int(allocation.counts[queue])
+            assert sorted(image[queue][:count]) == expected
+
+    def test_all_values_preserved(self, rng, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=4)
+        queue_ids = rng.integers(0, 4, size=120)
+        values = rng.standard_normal(120)
+        allocation, image = allocator.scatter_to_queues(
+            queue_ids, values, capacity=60)
+        landed = []
+        for queue in range(4):
+            landed.extend(image[queue][:int(allocation.counts[queue])])
+        assert sorted(landed) == sorted(values.tolist())
+
+    def test_overflow_detected(self, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=2)
+        with pytest.raises(OverflowError):
+            allocator.scatter_to_queues(np.zeros(10, dtype=np.int64),
+                                        np.ones(10), capacity=4)
+
+    def test_length_mismatch(self, table1):
+        allocator = ParallelQueueAllocator(table1, num_queues=2)
+        with pytest.raises(ValueError):
+            allocator.scatter_to_queues([0, 1], [1.0], capacity=4)

@@ -1,0 +1,119 @@
+"""Unit-level tests of the scatter-add unit's cache-combining mode.
+
+System-level combining is covered by the multi-node tests; these pin the
+unit+bank contract in isolation: no memory read on activation, identity
+start, delta merge into the bank, sum-back on eviction.
+"""
+
+import pytest
+
+from repro.cache.bank import CacheBank
+from repro.config import MachineConfig
+from repro.core.unit import ScatterAddUnit
+from repro.memory.backing import MainMemory
+from repro.memory.dram import DRAMSystem
+from repro.memory.request import OP_SCATTER_ADD, MemoryRequest
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+from tests.conftest import Feeder
+
+
+class CombiningHarness:
+    """SAU in front of one cache bank with a sum-back recorder."""
+
+    def __init__(self, config=None):
+        self.config = config or MachineConfig(cache_banks=1)
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.memory = MainMemory()
+        self.dram = DRAMSystem(self.sim, self.config, self.memory,
+                               self.stats)
+        self.sumbacks = []
+
+        def sink(addr, value):
+            self.sumbacks.append((addr, value))
+            return True
+
+        self.bank = CacheBank(self.sim, self.config, self.stats,
+                              self.dram.req_in, sumback_sink=sink)
+        self.unit = self.sim.register(ScatterAddUnit(
+            self.sim, self.config, self.stats, self.bank.req_in))
+
+    def run(self, requests):
+        self.sim.register(Feeder(self.unit.req_in, requests))
+        return self.sim.run()
+
+
+def combining(addr, value):
+    return MemoryRequest(OP_SCATTER_ADD, addr, value, combining=True)
+
+
+class TestCombiningMode:
+    def test_no_memory_read_on_activation(self):
+        harness = CombiningHarness()
+        harness.memory.write_word(5, 100.0)  # must never be fetched
+        harness.run([combining(5, 2.0)])
+        assert harness.stats.get("dram.reads") == 0
+        assert harness.bank.peek_word(5) == 2.0  # pure delta, not 102
+
+    def test_chain_accumulates_delta_only(self):
+        harness = CombiningHarness()
+        harness.memory.write_word(9, 50.0)
+        harness.run([combining(9, 1.0) for _ in range(12)])
+        assert harness.bank.peek_word(9) == 12.0
+        # DRAM copy untouched until a sum-back/flush merges it.
+        assert harness.memory.read_word(9) == 50.0
+
+    def test_acks_sent_for_combining_requests(self):
+        harness = CombiningHarness()
+        acked = []
+
+        class Recorder:
+            @staticmethod
+            def can_push():
+                return True
+
+            @staticmethod
+            def push(response):
+                acked.append(response.tag)
+
+        requests = [MemoryRequest(OP_SCATTER_ADD, 3, 1.0, combining=True,
+                                  reply_to=Recorder, tag=i)
+                    for i in range(5)]
+        harness.run(requests)
+        assert sorted(acked) == [0, 1, 2, 3, 4]
+
+    def test_eviction_sums_back_delta(self):
+        config = MachineConfig(cache_banks=1, cache_size_bytes=64,
+                               cache_associativity=1)
+        harness = CombiningHarness(config)
+        harness.run([combining(0, 7.0)])
+        # conflict-evict the combining line with plain writes elsewhere
+        stride = config.cache_line_words * config.cache_sets_per_bank
+        harness.run([
+            MemoryRequest("write", stride, 1.0),
+            MemoryRequest("write", 2 * stride, 1.0),
+        ])
+        assert (0, 7.0) in harness.sumbacks
+
+    def test_flush_then_drain_merges_once(self):
+        harness = CombiningHarness()
+        harness.memory.write_word(2, 10.0)
+        harness.run([combining(2, 5.0)])
+        harness.bank.drain_to(harness.memory)
+        assert harness.memory.read_word(2) == 15.0
+        # a second drain must not double-merge
+        harness.bank.drain_to(harness.memory)
+        assert harness.memory.read_word(2) == 15.0
+
+    def test_mixed_combining_and_plain_addresses(self):
+        harness = CombiningHarness()
+        harness.memory.write_word(20, 3.0)
+        harness.run([
+            combining(4, 1.0),
+            MemoryRequest(OP_SCATTER_ADD, 20, 2.0),  # plain RMW path
+            combining(4, 1.0),
+        ])
+        assert harness.bank.peek_word(4) == 2.0  # delta
+        assert harness.bank.peek_word(20) == 5.0  # true value

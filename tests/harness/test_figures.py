@@ -1,0 +1,85 @@
+"""Tests for the ASCII chart rendering."""
+
+import pytest
+
+from repro.harness.figures import bar_chart, line_chart
+from repro.harness.report import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        "demo", "Demo data", ["x", "a", "b"],
+        [{"x": 1, "a": 1.0, "b": 10.0},
+         {"x": 10, "a": 2.0, "b": 100.0},
+         {"x": 100, "a": 4.0, "b": 1000.0}],
+    )
+
+
+class TestLineChart:
+    def test_contains_marks_and_legend(self, result):
+        text = line_chart(result, "x", ["a", "b"])
+        assert "*" in text
+        assert "o" in text
+        assert "a" in text.splitlines()[-1]
+        assert "b" in text.splitlines()[-1]
+
+    def test_axis_labels_span_data(self, result):
+        text = line_chart(result, "x", ["a"])
+        assert "1" in text
+        assert "100" in text
+
+    def test_log_scales_noted(self, result):
+        text = line_chart(result, "x", ["a"], logx=True, logy=True)
+        assert "log x" in text
+        assert "log y" in text
+
+    def test_monotone_series_renders_monotone(self, result):
+        text = line_chart(result, "x", ["b"], width=30, height=10)
+        rows = [line.split("|", 1)[1] for line in text.splitlines()
+                if "|" in line]
+        positions = []
+        for row_index, row in enumerate(rows):
+            for col, char in enumerate(row):
+                if char == "*":
+                    positions.append((col, row_index))
+        positions.sort()
+        row_sequence = [row for __, row in positions]
+        assert row_sequence == sorted(row_sequence, reverse=True)
+
+    def test_constant_series_handled(self):
+        flat = ExperimentResult("flat", "", ["x", "y"],
+                                [{"x": 0, "y": 5.0}, {"x": 1, "y": 5.0}])
+        assert "|" in line_chart(flat, "x", ["y"])
+
+    def test_empty_result(self):
+        empty = ExperimentResult("e", "", ["x", "y"], [])
+        assert line_chart(empty, "x", ["y"]) == "(no data)"
+
+    def test_custom_title(self, result):
+        assert line_chart(result, "x", ["a"],
+                          title="Custom").startswith("Custom")
+
+
+class TestBarChart:
+    def test_groups_per_row(self, result):
+        text = bar_chart(result, "x", ["a", "b"])
+        assert text.count("#") > 0
+        for x_value in ("1:", "10:", "100:"):
+            assert x_value in text
+
+    def test_longer_values_longer_bars(self, result):
+        text = bar_chart(result, "x", ["a", "b"], width=40)
+        lines = [line for line in text.splitlines() if "|" in line]
+        # compare within the largest group (x=100: a=4, b=1000)
+        a_bar = lines[-2].count("#")
+        b_bar = lines[-1].count("#")
+        assert b_bar > a_bar
+
+    def test_log_scale_noted(self, result):
+        assert "(log scale)" in bar_chart(result, "x", ["a"],
+                                          logscale=True)
+
+    def test_empty(self):
+        empty = ExperimentResult("e", "", ["x", "y"], [])
+        assert bar_chart(empty, "x", ["y"]) == "(no data)"

@@ -1,0 +1,63 @@
+"""Tests for the paper-data comparison module."""
+
+import pytest
+
+from repro.harness.paper_data import (
+    FIGURE9,
+    FIGURE10,
+    HEADLINES,
+    compare_rows,
+)
+from repro.harness.report import ExperimentResult
+
+
+class TestPublishedValues:
+    def test_figure9_internally_consistent(self):
+        # The text's stated ratios must follow from the bar values.
+        csr = FIGURE9["CSR"]["exec_cycles_M"]
+        ebe_sw = FIGURE9["EBE SW scatter-add"]["exec_cycles_M"]
+        ebe_hw = FIGURE9["EBE HW scatter-add"]["exec_cycles_M"]
+        assert ebe_sw / csr == pytest.approx(2.2, abs=0.05)
+        assert csr / ebe_hw == pytest.approx(1.45, abs=0.01)
+
+    def test_figure10_internally_consistent(self):
+        no_sa = FIGURE10["no scatter-add"]["exec_cycles_M"]
+        sw = FIGURE10["SW scatter-add"]["exec_cycles_M"]
+        hw = FIGURE10["HW scatter-add"]["exec_cycles_M"]
+        assert sw / no_sa == pytest.approx(3.1, abs=0.05)
+        assert no_sa / hw == pytest.approx(1.76, abs=0.01)
+
+    def test_headlines_present(self):
+        assert HEADLINES["optimal sort batch size"] == 256
+        assert HEADLINES["die fraction for 8 units"] == 0.02
+
+
+class TestCompareRows:
+    @pytest.fixture
+    def measured(self):
+        return ExperimentResult(
+            "figure9", "test",
+            ["method", "exec_cycles_M", "fp_ops_M", "mem_refs_M"],
+            [{"method": "CSR", "exec_cycles_M": 0.334, "fp_ops_M": 1.217,
+              "mem_refs_M": 1.836},
+             {"method": "unknown", "exec_cycles_M": 1.0}],
+        )
+
+    def test_joins_on_method(self, measured):
+        rows = compare_rows(measured, FIGURE9)
+        methods = {row["method"] for row in rows}
+        assert methods == {"CSR"}  # unknown method skipped
+        assert len(rows) == 3  # three metrics
+
+    def test_ratio_of_identical_values_is_one(self, measured):
+        rows = compare_rows(measured, FIGURE9)
+        assert all(row["measured/paper"] == 1.0 for row in rows)
+
+    def test_missing_metric_skipped(self):
+        partial = ExperimentResult(
+            "f", "t", ["method", "exec_cycles_M"],
+            [{"method": "CSR", "exec_cycles_M": 0.3}],
+        )
+        rows = compare_rows(partial, FIGURE9)
+        assert len(rows) == 1
+        assert rows[0]["metric"] == "exec_cycles_M"

@@ -1,0 +1,53 @@
+"""Tests for address interleaving."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory.address import (
+    bank_of,
+    channel_of,
+    line_base,
+    line_of,
+    node_of,
+)
+
+
+class TestAddressMapping:
+    def test_line_of(self):
+        assert line_of(0, 4) == 0
+        assert line_of(3, 4) == 0
+        assert line_of(4, 4) == 1
+
+    def test_line_base(self):
+        assert line_base(5, 4) == 4
+        assert line_base(4, 4) == 4
+        assert line_base(3, 4) == 0
+
+    def test_bank_interleave_at_line_granularity(self):
+        # words 0-3 -> bank 0, words 4-7 -> bank 1, ...
+        assert [bank_of(w, 8, 4) for w in range(0, 16, 4)] == [0, 1, 2, 3]
+        assert bank_of(0, 8, 4) == bank_of(3, 8, 4)
+
+    def test_channel_interleave(self):
+        assert channel_of(4 * 16, 16, 4) == 0  # wraps around
+        assert channel_of(4, 16, 4) == 1
+
+    def test_node_block_partition(self):
+        assert node_of(0, 4, 100) == 0
+        assert node_of(99, 4, 100) == 0
+        assert node_of(100, 4, 100) == 1
+        assert node_of(399, 4, 100) == 3
+
+    def test_node_clamped_to_last(self):
+        assert node_of(10_000, 4, 100) == 3
+
+    @given(st.integers(0, 1 << 30), st.integers(1, 16))
+    def test_same_line_same_bank(self, addr, line_words):
+        base = line_base(addr, line_words)
+        for offset in range(line_words):
+            assert bank_of(base + offset, 8, line_words) == bank_of(
+                base, 8, line_words)
+
+    @given(st.integers(0, 1 << 30))
+    def test_banks_cover_all_values(self, addr):
+        assert 0 <= bank_of(addr, 8, 4) < 8
+        assert 0 <= channel_of(addr, 16, 4) < 16

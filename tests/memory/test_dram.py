@@ -1,0 +1,144 @@
+"""Tests for the DRAM models (banked channels and uniform memory)."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.memory.backing import MainMemory
+from repro.memory.dram import DRAMSystem, UniformMemory
+from repro.memory.request import (
+    OP_READ,
+    OP_SCATTER_ADD,
+    OP_WRITE,
+    MemoryRequest,
+)
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+from tests.conftest import Sink
+
+
+def _make_uniform(latency=16, interval=2):
+    config = MachineConfig.uniform(latency=latency, interval=interval)
+    sim = Simulator()
+    stats = Stats()
+    memory = MainMemory()
+    endpoint = UniformMemory(sim, config, memory, stats)
+    sink = Sink(sim)
+    sim.register(sink)
+    return sim, endpoint, memory, sink, stats
+
+
+def _make_dram(config=None):
+    config = config or MachineConfig.table1()
+    sim = Simulator()
+    stats = Stats()
+    memory = MainMemory()
+    endpoint = DRAMSystem(sim, config, memory, stats)
+    sink = Sink(sim)
+    sim.register(sink)
+    return sim, endpoint, memory, sink, stats
+
+
+class TestUniformMemory:
+    def test_write_then_read(self):
+        sim, endpoint, memory, sink, __ = _make_uniform()
+        endpoint.req_in.push(MemoryRequest(OP_WRITE, 10, 4.5))
+        endpoint.req_in.push(MemoryRequest(OP_READ, 10, reply_to=sink.fifo))
+        sim.run()
+        assert memory.read_word(10) == 4.5
+        assert len(sink.received) == 1
+        assert sink.received[0].value == 4.5
+
+    def test_read_latency_respected(self):
+        sim, endpoint, __, sink, __ = _make_uniform(latency=16, interval=2)
+        endpoint.req_in.push(MemoryRequest(OP_READ, 0, reply_to=sink.fifo))
+        end = sim.run()
+        # request visible cycle 1, transfer 2 cycles, latency 16, plus
+        # delivery hops: the response must not appear before 16 cycles pass.
+        assert end >= 16
+
+    def test_throughput_interval(self):
+        # 10 reads at 1 word per 4 cycles must take >= 40 cycles.
+        sim, endpoint, __, sink, __ = _make_uniform(latency=1, interval=4)
+        for addr in range(10):
+            endpoint.req_in.push(
+                MemoryRequest(OP_READ, addr, reply_to=sink.fifo))
+        end = sim.run()
+        assert end >= 40
+        assert len(sink.received) == 10
+
+    def test_atomic_request_rejected(self):
+        sim, endpoint, __, __, __ = _make_uniform()
+        endpoint.req_in.push(MemoryRequest(OP_SCATTER_ADD, 0, 1.0))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_multiword_write_and_read(self):
+        sim, endpoint, memory, sink, __ = _make_uniform()
+        endpoint.req_in.push(
+            MemoryRequest(OP_WRITE, 8, [1.0, 2.0, 3.0, 4.0], words=4))
+        endpoint.req_in.push(
+            MemoryRequest(OP_READ, 8, reply_to=sink.fifo, words=4))
+        sim.run()
+        assert sink.received[0].value == [1.0, 2.0, 3.0, 4.0]
+
+    def test_write_ack_when_requested(self):
+        sim, endpoint, __, sink, __ = _make_uniform()
+        endpoint.req_in.push(MemoryRequest(OP_WRITE, 0, 1.0,
+                                           reply_to=sink.fifo))
+        sim.run()
+        assert len(sink.received) == 1
+        assert sink.received[0].op == OP_WRITE
+
+
+class TestDRAMSystem:
+    def test_functional_read_write(self):
+        sim, endpoint, memory, sink, __ = _make_dram()
+        endpoint.req_in.push(
+            MemoryRequest(OP_WRITE, 0, [1.0, 2.0, 3.0, 4.0], words=4))
+        endpoint.req_in.push(
+            MemoryRequest(OP_READ, 0, reply_to=sink.fifo, words=4))
+        sim.run()
+        assert sink.received[0].value == [1.0, 2.0, 3.0, 4.0]
+
+    def test_same_channel_requests_ordered(self):
+        # A read queued behind a write to the same line must observe it.
+        sim, endpoint, memory, sink, __ = _make_dram()
+        endpoint.req_in.push(MemoryRequest(OP_WRITE, 4, [9.0] * 4, words=4))
+        endpoint.req_in.push(
+            MemoryRequest(OP_READ, 4, reply_to=sink.fifo, words=4))
+        sim.run()
+        assert sink.received[0].value == [9.0] * 4
+
+    def test_channels_run_in_parallel(self):
+        config = MachineConfig.table1()
+        # 16 single-line reads across 16 channels finish much faster than
+        # 16 reads on one channel.
+        def run_reads(addrs):
+            sim, endpoint, __, sink, __ = _make_dram(config)
+            for addr in addrs:
+                endpoint.req_in.push(
+                    MemoryRequest(OP_READ, addr, reply_to=sink.fifo,
+                                  words=4))
+            return sim.run()
+
+        line = config.cache_line_words
+        spread = run_reads([line * channel for channel in range(16)])
+        hot = run_reads([line * 16 * i for i in range(16)])  # all channel 0
+        assert hot > spread * 2
+
+    def test_stats_counted(self):
+        sim, endpoint, __, sink, stats = _make_dram()
+        endpoint.req_in.push(MemoryRequest(OP_WRITE, 0, [0.0] * 4, words=4))
+        endpoint.req_in.push(
+            MemoryRequest(OP_READ, 0, reply_to=sink.fifo, words=4))
+        sim.run()
+        assert stats.get("dram.reads") == 1
+        assert stats.get("dram.writes") == 1
+        assert stats.get("dram.read_words") == 4
+
+    def test_atomic_request_rejected(self):
+        sim, endpoint, __, __, __ = _make_dram()
+        endpoint.req_in.push(MemoryRequest(OP_SCATTER_ADD, 0, 1.0))
+        with pytest.raises(ValueError):
+            sim.run()

@@ -1,0 +1,78 @@
+"""Tests for the cluster-array cost model."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.node.cluster import ClusterArray
+from repro.node.program import Bulk, Kernel
+from repro.sim.stats import Stats
+
+
+def make_clusters(config=None):
+    config = config or MachineConfig.table1()
+    stats = Stats()
+    return ClusterArray(config, stats), stats, config
+
+
+class TestKernelCost:
+    def test_compute_bound_kernel(self):
+        clusters, __, config = make_clusters()
+        kernel = Kernel("k", fp_ops=12800)  # 100 cycles at 128 flops/cycle
+        assert clusters.kernel_cycles(kernel) == config.stream_op_overhead + 100
+
+    def test_srf_bandwidth_bound_kernel(self):
+        clusters, __, config = make_clusters()
+        kernel = Kernel("k", fp_ops=0, srf_words=6400)  # 100 cycles at 64 w/c
+        assert clusters.kernel_cycles(kernel) == config.stream_op_overhead + 100
+
+    def test_efficiency_scales_compute(self):
+        clusters, __, config = make_clusters()
+        full = clusters.kernel_cycles(Kernel("k", 12800, efficiency=1.0))
+        half = clusters.kernel_cycles(Kernel("k", 12800, efficiency=0.5))
+        assert half - config.stream_op_overhead == 2 * (
+            full - config.stream_op_overhead)
+
+    def test_launches_multiply_overhead(self):
+        clusters, __, config = make_clusters()
+        one = clusters.kernel_cycles(Kernel("k", 0, launches=1))
+        three = clusters.kernel_cycles(Kernel("k", 0, launches=3))
+        assert three == one + 2 * config.stream_op_overhead
+
+    def test_fp_and_int_ops_separated(self):
+        clusters, stats, __ = make_clusters()
+        clusters.kernel_cycles(Kernel("fp", 100))
+        clusters.kernel_cycles(Kernel("int", 50, integer=True))
+        assert stats.get("cluster.fp_ops") == 100
+        assert stats.get("cluster.int_ops") == 50
+
+    def test_invalid_kernel_params(self):
+        with pytest.raises(ValueError):
+            Kernel("k", 1, efficiency=0.0)
+        with pytest.raises(ValueError):
+            Kernel("k", 1, efficiency=1.5)
+        with pytest.raises(ValueError):
+            Kernel("k", 1, launches=0)
+
+
+class TestBulkCost:
+    def test_uncached_uses_dram_bandwidth(self):
+        clusters, __, config = make_clusters()
+        cycles = clusters.bulk_cycles(Bulk("b", words=4800))
+        expected = config.stream_op_overhead + int(
+            -(-4800 // config.dram_words_per_cycle))
+        assert abs(cycles - expected) <= 1
+
+    def test_cached_faster_than_uncached(self):
+        clusters, __, __ = make_clusters()
+        uncached = clusters.bulk_cycles(Bulk("b", words=80000))
+        cached = clusters.bulk_cycles(Bulk("b", words=80000, cached=True))
+        assert cached < uncached
+
+    def test_bulk_counts_refs(self):
+        clusters, stats, __ = make_clusters()
+        clusters.bulk_cycles(Bulk("b", words=123))
+        assert stats.get("memsys.refs") == 123
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError):
+            Bulk("b", words=-1)

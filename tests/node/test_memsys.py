@@ -1,0 +1,70 @@
+"""Unit tests for the memory-system assembly."""
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.memory.request import OP_SCATTER_ADD, MemoryRequest
+from repro.node.memsys import MemorySystem
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+from tests.conftest import Feeder
+
+
+def make_memsys(config=None):
+    config = config or MachineConfig.table1()
+    sim = Simulator()
+    stats = Stats()
+    source = sim.fifo(name="source")
+    memsys = MemorySystem(sim, config, stats, sources=[source])
+    return sim, memsys, source, stats
+
+
+class TestCachedAssembly:
+    def test_one_unit_per_bank(self):
+        __, memsys, __, __ = make_memsys()
+        assert len(memsys.banks) == 8
+        assert len(memsys.units) == 8
+
+    def test_sub_units_when_configured(self):
+        config = MachineConfig(scatter_add_units_per_bank=2)
+        __, memsys, __, __ = make_memsys(config)
+        assert len(memsys.banks) == 8
+        assert len(memsys.units) == 16
+
+    def test_uniform_single_unit_no_banks(self):
+        __, memsys, __, __ = make_memsys(MachineConfig.uniform())
+        assert len(memsys.banks) == 0
+        assert len(memsys.units) == 1
+
+    def test_same_address_always_same_unit(self):
+        config = MachineConfig(scatter_add_units_per_bank=2)
+        sim, memsys, source, __ = make_memsys(config)
+        target_of = memsys.router.target_of
+        for addr in range(0, 4096, 7):
+            assert target_of(addr) == target_of(addr)
+            # every word of a line maps to the same unit
+            base = (addr // config.cache_line_words) \
+                * config.cache_line_words
+            for offset in range(config.cache_line_words):
+                assert target_of(base + offset) == target_of(base)
+
+    def test_requests_flow_to_completion(self, rng):
+        sim, memsys, source, __ = make_memsys()
+        updates = [int(i) for i in rng.integers(0, 64, size=100)]
+        sim.register(Feeder(source, [
+            MemoryRequest(OP_SCATTER_ADD, addr, 1.0) for addr in updates
+        ]))
+        sim.run()
+        result = memsys.read_result(0, 64)
+        expected = np.zeros(64)
+        np.add.at(expected, updates, 1.0)
+        assert np.array_equal(result, expected)
+
+    def test_read_result_flushes_dirty_cache(self, rng):
+        sim, memsys, source, __ = make_memsys()
+        sim.register(Feeder(source, [MemoryRequest(OP_SCATTER_ADD, 3, 2.0)]))
+        sim.run()
+        # value still dirty in cache, absent from DRAM backing store
+        assert memsys.memory.read_word(3) == 0.0
+        assert memsys.read_result(0, 4)[3] == 2.0

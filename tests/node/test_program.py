@@ -1,0 +1,80 @@
+"""Tests for the stream-program op classes."""
+
+import pytest
+
+from repro.node.program import (
+    Bulk,
+    FetchAdd,
+    Gather,
+    Kernel,
+    Phase,
+    Scatter,
+    ScatterAdd,
+    StreamProgram,
+)
+
+
+class TestOps:
+    def test_gather_wants_results(self):
+        op = Gather([1, 2, 3])
+        assert op.result == [None, None, None]
+        assert op.op == "read"
+
+    def test_scatter_carries_values(self):
+        op = Scatter([1, 2], [5.0, 6.0])
+        assert op.value_at(0) == 5.0
+        assert op.result is None
+
+    def test_scatter_add_scalar_default(self):
+        op = ScatterAdd([0, 1, 2])
+        assert op.value_at(2) == 1.0
+        assert op.op == "scatter_add"
+
+    def test_scatter_add_combining_flag(self):
+        assert ScatterAdd([0], combining=True).combining
+        assert not ScatterAdd([0]).combining
+
+    def test_fetch_add_wants_results(self):
+        op = FetchAdd([4, 5], 1.0)
+        assert op.result == [None, None]
+        assert op.op == "fetch_add"
+
+    def test_len(self):
+        assert len(Gather([1, 2, 3])) == 3
+
+
+class TestPhase:
+    def test_partitions_op_kinds(self):
+        gather = Gather([0])
+        kernel = Kernel("k", 10)
+        bulk = Bulk("b", 10)
+        phase = Phase([gather, kernel, bulk])
+        assert phase.mem_ops == [gather]
+        assert phase.kernels == [kernel]
+        assert phase.bulk_ops == [bulk]
+
+    def test_empty_phase(self):
+        phase = Phase([])
+        assert phase.mem_ops == []
+        assert phase.kernels == []
+        assert phase.bulk_ops == []
+
+
+class TestStreamProgram:
+    def test_bare_op_lists_coerced_to_phases(self):
+        program = StreamProgram([[Kernel("k", 1)], [Kernel("k2", 2)]])
+        assert len(program) == 2
+        assert all(isinstance(phase, Phase) for phase in program)
+
+    def test_mixed_phase_and_list(self):
+        program = StreamProgram([Phase([Kernel("a", 1)]),
+                                 [Kernel("b", 1)]])
+        assert len(program) == 2
+
+    def test_iteration_order(self):
+        first, second = Phase([], name="one"), Phase([], name="two")
+        program = StreamProgram([first, second])
+        assert list(program) == [first, second]
+
+    def test_name_default(self):
+        assert StreamProgram([]).name == "program"

@@ -1,0 +1,71 @@
+"""Tests for the request router."""
+
+from repro.config import MachineConfig
+from repro.memory.request import OP_WRITE, MemoryRequest
+from repro.node.router import Router
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+def make_router(targets_count=4, width=None, capacity=None):
+    sim = Simulator()
+    stats = Stats()
+    config = MachineConfig.table1()
+    source = sim.fifo(name="src")
+    targets = [sim.fifo(capacity=capacity, name="t%d" % i)
+               for i in range(targets_count)]
+    router = sim.register(Router(
+        sim, config, stats, [source], targets,
+        target_of=lambda addr: addr % targets_count, width=width,
+    ))
+    return sim, source, targets, stats
+
+
+class TestRouter:
+    def test_routes_by_address(self):
+        sim, source, targets, __ = make_router()
+        for addr in range(8):
+            source.push(MemoryRequest(OP_WRITE, addr, 0.0))
+        sim.run_cycles(4)
+        for index, target in enumerate(targets):
+            addrs = [r.addr for r in target.drain()]
+            assert addrs == [index, index + 4]
+
+    def test_width_limits_moves_per_cycle(self):
+        sim, source, targets, __ = make_router(width=2)
+        for addr in range(6):
+            source.push(MemoryRequest(OP_WRITE, addr, 0.0))
+        source.sync()
+        sim.step()
+        moved = sum(t.occupancy for t in targets)
+        assert moved == 2
+
+    def test_head_of_line_blocking(self):
+        sim, source, targets, stats = make_router(capacity=1)
+        # Two requests to target 0: the second blocks the queue head even
+        # though target 1 is free.
+        source.push(MemoryRequest(OP_WRITE, 0, 0.0))
+        source.push(MemoryRequest(OP_WRITE, 4, 0.0))
+        source.push(MemoryRequest(OP_WRITE, 1, 0.0))
+        source.sync()
+        sim.step()
+        sim.step()
+        assert targets[0].occupancy == 1
+        assert targets[1].occupancy == 0  # blocked behind addr 4
+        assert stats.get("router.hol_blocks") > 0
+
+    def test_multiple_sources_round_robin(self):
+        sim = Simulator()
+        stats = Stats()
+        config = MachineConfig.table1()
+        sources = [sim.fifo(name="s%d" % i) for i in range(2)]
+        target = sim.fifo(name="t")
+        sim.register(Router(sim, config, stats, sources, [target],
+                            target_of=lambda addr: 0, width=1))
+        sources[0].push(MemoryRequest(OP_WRITE, 100, 0.0))
+        sources[1].push(MemoryRequest(OP_WRITE, 200, 0.0))
+        for fifo in sources:
+            fifo.sync()
+        sim.run_cycles(3)
+        addrs = {r.addr for r in target.drain()}
+        assert addrs == {100, 200}

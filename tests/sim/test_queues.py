@@ -1,0 +1,142 @@
+"""Tests for the two-phase FIFO and the latency pipe."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.queues import FIFO, LatencyPipe
+
+
+class TestFIFO:
+    def test_push_not_visible_until_sync(self):
+        queue = FIFO(capacity=4)
+        queue.push("a")
+        assert len(queue) == 0
+        assert queue.occupancy == 1
+        queue.sync()
+        assert len(queue) == 1
+        assert queue.peek() == "a"
+
+    def test_fifo_order_preserved(self):
+        queue = FIFO()
+        for item in range(5):
+            queue.push(item)
+        queue.sync()
+        assert [queue.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_capacity_counts_staged_entries(self):
+        queue = FIFO(capacity=2)
+        queue.push(1)
+        queue.push(2)
+        assert not queue.can_push()
+        with pytest.raises(OverflowError):
+            queue.push(3)
+
+    def test_capacity_frees_after_pop(self):
+        queue = FIFO(capacity=1)
+        queue.push(1)
+        queue.sync()
+        assert not queue.can_push()
+        queue.pop()
+        assert queue.can_push()
+
+    def test_pop_empty_raises(self):
+        queue = FIFO()
+        with pytest.raises(IndexError):
+            queue.pop()
+        with pytest.raises(IndexError):
+            queue.peek()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FIFO(capacity=0)
+
+    def test_idle_reflects_staged_and_committed(self):
+        queue = FIFO()
+        assert queue.idle
+        queue.push(1)
+        assert not queue.idle
+        queue.sync()
+        assert not queue.idle
+        queue.pop()
+        assert queue.idle
+
+    def test_drain_returns_all_committed(self):
+        queue = FIFO()
+        for item in range(3):
+            queue.push(item)
+        queue.sync()
+        queue.push(99)  # staged, must not drain
+        assert queue.drain() == [0, 1, 2]
+        assert len(queue) == 0
+        queue.sync()
+        assert queue.pop() == 99
+
+    def test_counters(self):
+        queue = FIFO()
+        queue.push(1)
+        queue.push(2)
+        queue.sync()
+        queue.pop()
+        assert queue.total_pushed == 2
+        assert queue.total_popped == 1
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_everything_pushed_is_popped_in_order(self, items):
+        queue = FIFO()
+        for item in items:
+            queue.push(item)
+        queue.sync()
+        assert queue.drain() == items
+
+
+class TestLatencyPipe:
+    def test_entry_ready_after_latency(self):
+        pipe = LatencyPipe(latency=3)
+        pipe.push("x", now=0)
+        for now in range(3):
+            pipe.advance(now)
+            assert not pipe.ready()
+        pipe.advance(3)
+        assert pipe.ready()
+        assert pipe.pop() == "x"
+
+    def test_zero_latency_ready_same_cycle(self):
+        pipe = LatencyPipe(latency=0)
+        pipe.push("x", now=5)
+        pipe.advance(5)
+        assert pipe.ready()
+
+    def test_pipelined_entries_in_order(self):
+        pipe = LatencyPipe(latency=2)
+        pipe.advance(0)
+        pipe.push("a", now=0)
+        pipe.advance(1)
+        pipe.push("b", now=1)
+        pipe.advance(2)
+        assert pipe.pop() == "a"
+        pipe.advance(3)
+        assert pipe.pop() == "b"
+
+    def test_bandwidth_limit_per_cycle(self):
+        pipe = LatencyPipe(latency=1, bandwidth=2)
+        pipe.advance(0)
+        pipe.push("a", now=0)
+        pipe.push("b", now=0)
+        assert not pipe.can_push()
+        with pytest.raises(OverflowError):
+            pipe.push("c", now=0)
+        pipe.advance(1)  # resets the per-cycle budget
+        assert pipe.can_push()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyPipe(latency=-1)
+
+    def test_idle(self):
+        pipe = LatencyPipe(latency=1)
+        assert pipe.idle
+        pipe.push("a", now=0)
+        assert not pipe.idle
+        pipe.advance(1)
+        pipe.pop()
+        assert pipe.idle

@@ -1,0 +1,67 @@
+"""Tests for the coloring software scatter-add."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.api import scatter_add_reference
+from repro.config import MachineConfig
+from repro.software.coloring import ColoringScatterAdd, greedy_color_indices
+
+
+class TestGreedyColoring:
+    def test_no_collisions_within_color(self):
+        indices = np.array([3, 3, 1, 3, 1, 2])
+        colors = greedy_color_indices(indices)
+        for color in range(colors.max() + 1):
+            members = indices[colors == color]
+            assert len(set(members)) == len(members)
+
+    def test_color_count_equals_max_multiplicity(self):
+        indices = np.array([0, 0, 0, 1, 2])
+        colors = greedy_color_indices(indices)
+        assert colors.max() + 1 == 3
+
+    def test_unique_indices_single_color(self):
+        colors = greedy_color_indices(np.array([4, 2, 9]))
+        assert colors.max() == 0
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=100))
+    def test_property_valid_coloring(self, data):
+        indices = np.array(data)
+        colors = greedy_color_indices(indices)
+        for color in set(colors):
+            members = indices[colors == color]
+            assert len(set(members)) == len(members)
+
+
+class TestColoringScatterAdd:
+    def test_matches_reference(self, rng, table1):
+        indices = rng.integers(0, 50, size=300)
+        values = rng.standard_normal(300)
+        run = ColoringScatterAdd(table1).run(indices, values,
+                                             num_targets=50)
+        expected = scatter_add_reference(np.zeros(50), indices, values)
+        assert np.allclose(run.result, expected)
+
+    def test_hot_spot_serializes(self, rng, table1):
+        # All updates to one address: as many colors as updates -- the
+        # worst-case serial schedule the paper warns about.
+        uniform = ColoringScatterAdd(table1).run(
+            rng.permutation(64), 1.0, num_targets=64)
+        hotspot = ColoringScatterAdd(table1).run(
+            np.zeros(64, dtype=np.int64), 1.0, num_targets=64)
+        assert hotspot.detail["colors"] == 64
+        assert uniform.detail["colors"] == 1
+        assert hotspot.cycles > 10 * uniform.cycles
+
+    def test_empty(self, table1):
+        run = ColoringScatterAdd(table1).run([], 1.0, num_targets=4)
+        assert run.cycles == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=120))
+    def test_property_exact(self, indices):
+        config = MachineConfig.table1()
+        run = ColoringScatterAdd(config).run(indices, 1.0, num_targets=16)
+        expected = scatter_add_reference(np.zeros(16), indices, 1.0)
+        assert np.array_equal(run.result, expected)

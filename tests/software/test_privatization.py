@@ -1,0 +1,62 @@
+"""Tests for the privatization software scatter-add."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import scatter_add_reference
+from repro.config import MachineConfig
+from repro.software.privatization import PrivatizationScatterAdd
+
+
+class TestPrivatization:
+    def test_matches_reference(self, rng, table1):
+        indices = rng.integers(0, 200, size=500)
+        values = rng.standard_normal(500)
+        run = PrivatizationScatterAdd(table1).run(indices, values,
+                                                  num_targets=200)
+        expected = scatter_add_reference(np.zeros(200), indices, values)
+        assert np.allclose(run.result, expected)
+
+    def test_pass_count_is_range_over_block(self, rng, table1):
+        indices = rng.integers(0, 512, size=100)
+        run = PrivatizationScatterAdd(table1, bins_per_pass=128).run(
+            indices, 1.0, num_targets=512)
+        assert run.detail["passes"] == 4
+
+    def test_cost_scales_with_range_o_mn(self, rng, table1):
+        indices_small = rng.integers(0, 128, size=1024)
+        indices_large = rng.integers(0, 1024, size=1024)
+        small = PrivatizationScatterAdd(table1).run(indices_small, 1.0,
+                                                    num_targets=128)
+        large = PrivatizationScatterAdd(table1).run(indices_large, 1.0,
+                                                    num_targets=1024)
+        # 8x the range -> roughly 8x the time (O(m*n) term dominates).
+        assert large.cycles > 4 * small.cycles
+
+    def test_initial_values(self, rng, table1):
+        initial = np.ones(16)
+        indices = rng.integers(0, 16, size=50)
+        run = PrivatizationScatterAdd(table1).run(indices, 1.0,
+                                                  num_targets=16,
+                                                  initial=initial)
+        expected = scatter_add_reference(initial, indices, 1.0)
+        assert np.allclose(run.result, expected)
+
+    def test_empty_input(self, table1):
+        run = PrivatizationScatterAdd(table1).run([], 1.0, num_targets=8)
+        assert list(run.result) == [0.0] * 8
+        assert run.cycles == 0
+
+    def test_invalid_bins_per_pass(self, table1):
+        with pytest.raises(ValueError):
+            PrivatizationScatterAdd(table1, bins_per_pass=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=200))
+    def test_property_exact(self, indices):
+        config = MachineConfig.table1()
+        run = PrivatizationScatterAdd(config).run(indices, 1.0,
+                                                  num_targets=41)
+        expected = scatter_add_reference(np.zeros(41), indices, 1.0)
+        assert np.array_equal(run.result, expected)

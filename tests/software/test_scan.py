@@ -1,0 +1,45 @@
+"""Tests for the segmented scan."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.software.scan import segmented_scan_sums
+
+
+class TestSegmentedScan:
+    def test_basic_segments(self):
+        keys, sums, ops = segmented_scan_sums([1, 1, 2, 5, 5, 5],
+                                              [1.0, 2.0, 3.0, 1.0, 1.0, 1.0])
+        assert list(keys) == [1, 2, 5]
+        assert list(sums) == [3.0, 3.0, 3.0]
+        assert ops > 0
+
+    def test_single_segment(self):
+        keys, sums, __ = segmented_scan_sums([4, 4, 4], [1.0, 1.0, 1.0])
+        assert list(keys) == [4]
+        assert list(sums) == [3.0]
+
+    def test_all_distinct(self):
+        keys, sums, __ = segmented_scan_sums([1, 2, 3], [0.5, 0.25, 0.125])
+        assert list(keys) == [1, 2, 3]
+        assert list(sums) == [0.5, 0.25, 0.125]
+
+    def test_empty(self):
+        keys, sums, ops = segmented_scan_sums([], [])
+        assert len(keys) == 0 and len(sums) == 0 and ops == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 20),
+                              st.floats(-100, 100, allow_nan=False)),
+                    min_size=1, max_size=100))
+    def test_property_matches_bincount(self, pairs):
+        pairs.sort(key=lambda pair: pair[0])
+        keys = [k for k, __ in pairs]
+        values = [v for __, v in pairs]
+        unique, sums, __ = segmented_scan_sums(keys, values)
+        expected = {}
+        for key, value in pairs:
+            expected[key] = expected.get(key, 0.0) + value
+        assert list(unique) == sorted(expected)
+        for key, total in zip(unique, sums):
+            assert np.isclose(total, expected[int(key)])

@@ -1,0 +1,54 @@
+"""Tests for the multi-node reference traces."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.fem import build_tet_mesh
+from repro.workloads.traces import (
+    gromacs_trace,
+    histogram_trace,
+    spas_trace,
+)
+
+
+class TestHistogramTraces:
+    def test_narrow(self):
+        indices, targets = histogram_trace("narrow", refs=4096)
+        assert targets == 256
+        assert len(indices) == 4096
+        assert indices.max() < 256
+
+    def test_wide(self):
+        indices, targets = histogram_trace("wide", refs=4096)
+        assert targets == 1 << 20
+        assert indices.max() < targets
+        # Wide traces have essentially no reuse.
+        assert len(np.unique(indices)) > 4000
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            histogram_trace("medium")
+
+
+class TestGromacsTrace:
+    def test_span_and_locality(self):
+        indices, targets = gromacs_trace(refs=10_000, molecules=60)
+        assert len(indices) == 10_000
+        assert targets == 60 * 9
+        # High locality: each 9-word group targets one molecule.
+        assert len(np.unique(indices)) <= targets
+
+
+class TestSpasTrace:
+    def test_full_ebe_stream(self):
+        mesh = build_tet_mesh(2, 2, 1)
+        indices, targets = spas_trace(mesh)
+        assert len(indices) == mesh.num_elements * 20
+        assert targets == mesh.num_nodes
+        assert indices.max() < targets
+
+    def test_paper_scale(self):
+        indices, targets = spas_trace()
+        # Paper: "the full set of 38K references over 10,240 indices".
+        assert len(indices) == 38_400
+        assert abs(targets - 10_240) < 500
