@@ -91,6 +91,10 @@ class CacheBank(Component):
         self._due = []  # heap of (ready_cycle, seq, response, reply_to)
         self._seq = 0
         self._flushing = False
+        # Wake/sleep protocol: requests and fills wake the bank; a pop of a
+        # full mem_req_out unblocks queued fill issues and write-backs.
+        self.watch(self.req_in, self.fill_in)
+        self.feeds(mem_req_out)
         sim.register(self)
 
     # ------------------------------------------------------------------ #
@@ -308,6 +312,19 @@ class CacheBank(Component):
             self.req_in.pop()
         if self._flushing:
             self._advance_flush()
+
+    def next_wake(self, now):
+        if (self._evict_retry or self._flushing or self.req_in.occupancy
+                or self.fill_in.occupancy):
+            # Evictions may be blocked on an external sum-back sink the
+            # engine cannot observe, so poll while any are queued.
+            return now + 1
+        if self._mshr_issue and self.mem_req_out.can_push():
+            return now + 1  # else: a pop of mem_req_out wakes us
+        if self._due:
+            due = self._due[0][0]
+            return due if due > now else now + 1
+        return None
 
     @property
     def busy(self):

@@ -6,10 +6,13 @@ Usage::
     python -m repro run figure6 [--out results/figure6.txt]
     python -m repro run all --out-dir results/
     python -m repro simulate --updates 4096 --range 2048 --method hardware
+    python -m repro bench --smoke --out results/engine_bench.json
     python -m repro area --units 8 --entries 8
 
 ``run`` regenerates a paper experiment and prints its table; ``simulate``
-times a single scatter-add with the chosen implementation; ``area``
+times a single scatter-add with the chosen implementation; ``bench``
+compares the event and legacy simulation schedulers on fixed workloads
+(asserting identical cycle counts) and writes a JSON report; ``area``
 prints the die-area estimate.
 """
 
@@ -94,6 +97,84 @@ def _cmd_simulate(args):
     return 0 if exact else 1
 
 
+def _bench_workloads(smoke):
+    """Benchmark cases: (name, zero-arg runner factory) pairs.
+
+    Each runner executes one full simulation and returns the cycle count
+    it simulated, so cycles-per-second compares schedulers on identical
+    work.
+    """
+    from repro.api import simulate_scatter_add
+    from repro.workloads.fem import build_tet_mesh
+    from repro.workloads.spmv import SpMVWorkload
+
+    rng = np.random.default_rng(0)
+    updates = 512 if smoke else 4096
+    hist_indices = rng.integers(0, 2048, size=updates)
+    table1 = MachineConfig.table1()
+
+    mesh_dims = (3, 3, 2) if smoke else (6, 6, 4)
+    spmv = SpMVWorkload(build_tet_mesh(*mesh_dims, seed=0), seed=0)
+
+    fig11_indices = rng.integers(0, 65536, size=512)
+    fig11 = MachineConfig.uniform(latency=256, interval=2)
+
+    return [
+        ("histogram", lambda: simulate_scatter_add(
+            hist_indices, 1.0, num_targets=2048, config=table1).cycles),
+        ("spmv_ebe_hw", lambda: spmv.run_ebe_hardware(table1).cycles),
+        ("fig11_latency256", lambda: simulate_scatter_add(
+            fig11_indices, 1.0, num_targets=65536, config=fig11).cycles),
+    ]
+
+
+def _cmd_bench(args):
+    import json
+    import time
+
+    from repro.sim.engine import SCHEDULERS, use_scheduler
+
+    if args.repeats < 1:
+        raise SystemExit("bench: --repeats must be at least 1 "
+                         "(got %d)" % args.repeats)
+    results = {"smoke": bool(args.smoke), "workloads": {}}
+    for name, runner in _bench_workloads(args.smoke):
+        entry = {}
+        for scheduler in SCHEDULERS:
+            best = None
+            cycles = None
+            with use_scheduler(scheduler):
+                for _ in range(args.repeats):
+                    start = time.perf_counter()
+                    cycles = runner()
+                    elapsed = time.perf_counter() - start
+                    if best is None or elapsed < best:
+                        best = elapsed
+            entry[scheduler] = {
+                "cycles": int(cycles),
+                "wall_seconds": best,
+                "cycles_per_second": cycles / best if best else 0.0,
+            }
+        if entry["legacy"]["cycles"] != entry["event"]["cycles"]:
+            raise SystemExit(
+                "bench %s: schedulers disagree on cycle count (%d vs %d)"
+                % (name, entry["legacy"]["cycles"], entry["event"]["cycles"]))
+        entry["speedup"] = (entry["event"]["cycles_per_second"]
+                            / entry["legacy"]["cycles_per_second"])
+        results["workloads"][name] = entry
+        print("%-18s %8d cycles  legacy %8.0f cyc/s  event %8.0f cyc/s  "
+              "speedup %.2fx" % (
+                  name, entry["legacy"]["cycles"],
+                  entry["legacy"]["cycles_per_second"],
+                  entry["event"]["cycles_per_second"],
+                  entry["speedup"]))
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print("wrote " + str(out))
+    return 0
+
+
 def _cmd_area(args):
     model = AreaModel(units=args.units,
                       combining_store_entries=args.entries)
@@ -146,6 +227,15 @@ def build_parser():
         "--method", default="hardware",
         choices=("hardware", "sortscan", "privatization", "coloring"))
 
+    bench = commands.add_parser(
+        "bench", help="time the event vs legacy simulation schedulers")
+    bench.add_argument("--smoke", action="store_true",
+                       help="small inputs for CI (seconds, not minutes)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repetitions per case (best is kept)")
+    bench.add_argument("--out", default="results/engine_bench.json",
+                       help="where to write the JSON benchmark report")
+
     area = commands.add_parser("area", help="die-area estimate")
     area.add_argument("--units", type=int, default=8)
     area.add_argument("--entries", type=int, default=8)
@@ -163,6 +253,7 @@ def main(argv=None):
         "list": _cmd_list,
         "run": _cmd_run,
         "simulate": _cmd_simulate,
+        "bench": _cmd_bench,
         "area": _cmd_area,
         "compare": _cmd_compare,
     }[args.command]

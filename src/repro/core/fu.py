@@ -43,6 +43,10 @@ class AddPipeline:
             return result, old_value, meta
         return None
 
+    def next_completion(self):
+        """Cycle the oldest in-flight op completes, or ``None`` if empty."""
+        return self._stages[0][0] if self._stages else None
+
     @property
     def busy(self):
         return bool(self._stages)

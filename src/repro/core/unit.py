@@ -67,6 +67,11 @@ class ScatterAddUnit(Component):
         self._ack_retry = deque()  # (response, reply_to) blocked acks
         self._active = set()  # addresses holding a value token
         self._combining_addrs = set()  # active addresses in combining mode
+        self._stall_since = None  # first cycle the head atomic found the store full
+        # Wake/sleep protocol: new requests and value returns wake the
+        # unit; a pop of a full mem_out unblocks bypasses/writes.
+        self.watch(self.req_in, self.value_in)
+        self.feeds(mem_out)
 
     # ------------------------------------------------------------------ #
     def _push_mem(self, request):
@@ -159,8 +164,15 @@ class ScatterAddUnit(Component):
             self.stats.add(self.name + ".bypassed")
             return
         if self.store.full:
-            self.stats.add(self.name + ".stall_cycles")
+            # Interval stall accounting: remember when the blocked span
+            # began and charge the whole span at acceptance time, so the
+            # unit can sleep through the stall without losing the count.
+            if self._stall_since is None:
+                self._stall_since = now
             return
+        if self._stall_since is not None:
+            self.stats.add(self.name + ".stall_cycles", now - self._stall_since)
+            self._stall_since = None
         self.req_in.pop()
         self.stats.add(self.name + ".atomics")
         self.store.allocate(request.addr, request.value, request.op,
@@ -192,6 +204,34 @@ class ScatterAddUnit(Component):
         self._handle_completion(now)
         self._consume_value(now)
         self._accept_request(now)
+
+    def next_wake(self, now):
+        if self._mem_retry or self._ack_retry or self._chained:
+            return now + 1
+        if self.value_in.occupancy:
+            return now + 1
+        wake = None
+        completion = self.fu.next_completion()
+        if completion is not None:
+            wake = completion if completion > now else now + 1
+        if self.req_in.occupancy:
+            if self.req_in._staged:
+                return now + 1  # head arrives (commits) next cycle
+            request = self.req_in.peek()
+            if request.is_atomic:
+                if not self.store.full:
+                    return now + 1
+                if self._stall_since is None:
+                    # Observe the stall onset next cycle so the interval
+                    # accounting starts exactly where the legacy stepper
+                    # would have counted the first blocked tick.
+                    return now + 1
+                # Stalled and accounted: the next release is an FU
+                # completion (wake above) or a value/chain arrival.
+            elif self.mem_out.can_push():
+                return now + 1
+            # else blocked on a full mem_out: its pop wakes us (feeds).
+        return wake
 
     @property
     def busy(self):

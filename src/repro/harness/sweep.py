@@ -6,14 +6,57 @@ The paper's sensitivity studies are one-dimensional sweeps of
 fields to vary and a measurement function, and they return an
 :class:`~repro.harness.report.ExperimentResult` ready for rendering --
 the tool behind ``examples/design_space.py`` and quick what-if studies.
+
+Design points are independent simulations, so both helpers accept
+``workers=N`` to farm them out over a process pool.  Results are
+deterministic: rows always come back in the same order as ``workers=1``,
+and each worker runs an identical, isolated simulation (the ``measure``
+callable and the configs must be picklable -- module-level functions, not
+closures or lambdas).
 """
 
 import itertools
+import multiprocessing
 
 from repro.harness.report import ExperimentResult
 
 
-def sweep(base_config, field, values, measure, exp_id="sweep", title=None):
+def _measure_one(task):
+    """Module-level worker target (must be picklable for process pools)."""
+    measure, config = task
+    return measure(config)
+
+
+def _run_points(measure, configs, workers):
+    """Measure every config, optionally across a process pool.
+
+    Returns outcomes in the order of `configs` regardless of worker count
+    (``Pool.map`` preserves input order).
+    """
+    if workers in (None, 0, 1) or len(configs) <= 1:
+        return [measure(config) for config in configs]
+    tasks = [(measure, config) for config in configs]
+    # Fork keeps the measure function usable without requiring it to be
+    # importable under "spawn" re-import semantics on every platform.
+    context = multiprocessing.get_context("fork")
+    with context.Pool(min(workers, len(configs))) as pool:
+        return pool.map(_measure_one, tasks)
+
+
+def _assemble(points, outcomes, columns):
+    rows = []
+    for point, outcome in zip(points, outcomes):
+        row = dict(point)
+        row.update(outcome)
+        for name in outcome:
+            if name not in columns:
+                columns.append(name)
+        rows.append(row)
+    return rows
+
+
+def sweep(base_config, field, values, measure, exp_id="sweep", title=None,
+          workers=None):
     """Vary one configuration field; measure each design point.
 
     Parameters
@@ -25,44 +68,43 @@ def sweep(base_config, field, values, measure, exp_id="sweep", title=None):
     values:
         Iterable of values for `field`.
     measure:
-        Callable ``measure(config) -> dict`` of result columns.
+        Callable ``measure(config) -> dict`` of result columns.  With
+        ``workers`` it must be picklable (a module-level function).
+    workers:
+        Process count for parallel measurement; ``None``/``0``/``1`` run
+        in-process.  Row order is identical either way.
     """
-    rows = []
+    values = list(values)
+    points = [{field: value} for value in values]
+    configs = [base_config.with_changes(**{field: value})
+               for value in values]
+    outcomes = _run_points(measure, configs, workers)
     columns = [field]
-    for value in values:
-        config = base_config.with_changes(**{field: value})
-        outcome = measure(config)
-        row = {field: value}
-        row.update(outcome)
-        for name in outcome:
-            if name not in columns:
-                columns.append(name)
-        rows.append(row)
+    rows = _assemble(points, outcomes, columns)
     return ExperimentResult(
         exp_id, title or ("sweep of %s" % field), columns, rows,
     )
 
 
 def grid_sweep(base_config, fields, measure, exp_id="grid_sweep",
-               title=None):
+               title=None, workers=None):
     """Cartesian-product sweep over several configuration fields.
 
     `fields` maps field names to value iterables.  Rows appear in
-    row-major order of the given field order.
+    row-major order of the given field order; ``workers`` parallelises the
+    measurements without changing that order.
     """
     names = list(fields)
+    points = [
+        dict(zip(names, combination))
+        for combination in itertools.product(
+            *(fields[name] for name in names)
+        )
+    ]
+    configs = [base_config.with_changes(**point) for point in points]
+    outcomes = _run_points(measure, configs, workers)
     columns = list(names)
-    rows = []
-    for combination in itertools.product(*(fields[name] for name in names)):
-        changes = dict(zip(names, combination))
-        config = base_config.with_changes(**changes)
-        outcome = measure(config)
-        row = dict(changes)
-        row.update(outcome)
-        for name in outcome:
-            if name not in columns:
-                columns.append(name)
-        rows.append(row)
+    rows = _assemble(points, outcomes, columns)
     return ExperimentResult(
         exp_id, title or ("grid sweep of %s" % ", ".join(names)),
         columns, rows,

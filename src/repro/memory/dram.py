@@ -125,6 +125,7 @@ class DRAMSystem(_MemoryEndpoint):
         self._channel_queues = [deque() for _ in range(self.channels)]
         self._channel_free_at = [0] * self.channels
         self._open_rows = [None] * self.channels
+        self.watch(self.req_in)
         sim.register(self)
 
     def _pick(self, queue, channel):
@@ -186,6 +187,21 @@ class DRAMSystem(_MemoryEndpoint):
             self._schedule(request, now + transfer + access)
             self.stats.add(self.name + ".busy_cycles", occupied)
 
+    def next_wake(self, now):
+        if self._retry or self.req_in.occupancy:
+            return now + 1
+        wake = self._due[0][0] if self._due else None
+        for channel in range(self.channels):
+            if not self._channel_queues[channel]:
+                continue
+            free_at = self._channel_free_at[channel]
+            candidate = free_at if free_at > now else now + 1
+            if wake is None or candidate < wake:
+                wake = candidate
+        if wake is not None and wake <= now:
+            wake = now + 1
+        return wake
+
     @property
     def busy(self):
         return super().busy or any(self._channel_queues)
@@ -205,6 +221,7 @@ class UniformMemory(_MemoryEndpoint):
         self.latency = config.uniform_latency
         self.req_in = sim.fifo(capacity=64, name=name + ".req_in")
         self._free_at = 0
+        self.watch(self.req_in)
         sim.register(self)
 
     def tick(self, now):
@@ -215,3 +232,15 @@ class UniformMemory(_MemoryEndpoint):
             self._free_at = now + transfer
             self._schedule(request, now + transfer + self.latency)
             self.stats.add(self.name + ".busy_cycles", transfer)
+
+    def next_wake(self, now):
+        if self._retry:
+            return now + 1
+        wake = self._due[0][0] if self._due else None
+        if self.req_in.occupancy:
+            candidate = self._free_at if self._free_at > now else now + 1
+            if wake is None or candidate < wake:
+                wake = candidate
+        if wake is not None and wake <= now:
+            wake = now + 1
+        return wake

@@ -50,6 +50,9 @@ class NodeInterface(Component):
     def connect(self, sources, net_out):
         self.sources = list(sources)
         self.net_out = net_out
+        # Wake/sleep protocol: pushes into any source wake the interface;
+        # while a source holds requests it polls (covers full outputs).
+        self.watch(*self.sources)
 
     def send_sumback(self, addr, value):
         """Dispose of one dirty word of an evicted combining line.
@@ -116,6 +119,12 @@ class NodeInterface(Component):
                     self.net_out.push(source.pop())
                     self.stats.add(self.name + ".remote_refs")
                 moved += 1
+
+    def next_wake(self, now):
+        for source in self.sources:
+            if source.occupancy:
+                return now + 1
+        return None
 
     @property
     def busy(self):

@@ -179,6 +179,7 @@ class MultiNodeSystem:
                     "combining flush did not converge; partial sums stuck"
                 )
         cycles = self.sim.cycle - start_cycle
+        self.stats.record_engine(self.sim)
 
         for memsys in self.memsystems:
             memsys.drain_to_memory()

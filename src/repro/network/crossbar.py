@@ -36,6 +36,10 @@ class Crossbar(Component):
             sim.pipe(HOP_LATENCY, name="%s.pipe%d" % (name, port))
             for port in range(nodes)
         ]
+        # Wake/sleep protocol: injections wake the switch; a pop of a full
+        # destination FIFO unblocks delivery of traversed requests.
+        self.watch(*self.inputs)
+        self.feeds(*outputs)
 
     def tick(self, now):
         # Deliver requests that finished traversing the switch.
@@ -64,6 +68,24 @@ class Crossbar(Component):
                 injected += 1
                 self.stats.add(self.name + ".words")
                 self.stats.add("%s.words_to%d" % (self.name, dest))
+
+    def next_wake(self, now):
+        # Stay awake while any input holds requests: the per-tick
+        # ``hol_blocks`` count (and arbitration) must run every cycle,
+        # exactly as under the legacy stepper.
+        for source in self.inputs:
+            if source.occupancy:
+                return now + 1
+        wake = None
+        for pipe in self._pipes:
+            if pipe.ready():
+                return now + 1  # deliverable (possibly output-blocked)
+            head = pipe.next_ready()
+            if head is not None and (wake is None or head < wake):
+                wake = head
+        if wake is not None and wake <= now:
+            wake = now + 1
+        return wake
 
     @property
     def busy(self):

@@ -91,6 +91,10 @@ class AddressGeneratorUnit(Component):
         self._current = None
         self._next_index = 0
         self._acked = 0
+        # Wake/sleep protocol: acknowledgements wake the AGU; so does a
+        # pop of its (full) output FIFO by the downstream router.
+        self.watch(self.ack_in)
+        self.feeds(self.out)
 
     def start(self, op):
         """Enqueue a stream operation (runs after earlier ones finish)."""
@@ -133,6 +137,17 @@ class AddressGeneratorUnit(Component):
             op.done = True
             op.end_cycle = now
             self._current = None
+
+    def next_wake(self, now):
+        if self.ack_in.occupancy:
+            return now + 1
+        if self._current is None:
+            return now + 1 if self._queue else None
+        if self._next_index < len(self._current) and self.out.can_push():
+            return now + 1
+        # Blocked on a full output (its pop wakes us) or waiting for the
+        # remaining acknowledgements (their arrival wakes us).
+        return None
 
     def _collect_acks(self):
         while len(self.ack_in):

@@ -103,6 +103,7 @@ class StreamProcessor:
             agu_load[agu] += 1
         start = self.sim.cycle
         end = self.sim.run()
+        self.stats.record_engine(self.sim)
         # Per-op launch overhead; ops on one AGU serialise their overheads.
         overhead = self.config.stream_op_overhead * max(agu_load)
         self.stats.add("memsys.stream_ops", len(mem_ops))

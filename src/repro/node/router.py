@@ -6,6 +6,13 @@ cache's total bandwidth per cycle.  A full target FIFO head-of-line blocks
 its source for the cycle -- this is what turns a narrow index range into
 the *hot bank effect* of Figure 7 ("successive scatter-add requests map to
 the same cache bank, leaving some of the scatter-add units idle").
+
+Wake/sleep protocol: between two router ticks nothing the router can see
+changes (only pushes to its sources and pops from its targets do, and both
+wake it), so while it sleeps the blocked-source set is frozen.  The
+``hol_blocks`` counter exploits that: the blocked-source count at the end
+of a tick is charged retroactively for every slept cycle at the next tick,
+reproducing the legacy per-tick count exactly.
 """
 
 from repro.sim.engine import Component
@@ -22,25 +29,48 @@ class Router(Component):
         self.targets = list(targets)
         self.target_of = target_of
         self.width = width if width is not None else config.cache_words_per_cycle
-        self._start = 0
+        self._last_tick = -1
+        self._moved = 0  # moves made by the most recent tick
+        self._sleep_blocked = 0  # blocked sources at the end of that tick
+        self.watch(*self.sources)
+        self.feeds(*self.targets)
 
     def tick(self, now):
+        if self._sleep_blocked and now - self._last_tick > 1:
+            # Every slept cycle would have re-observed the same blocked
+            # heads (state frozen while asleep); charge them now.
+            self.stats.add(self.name + ".hol_blocks",
+                           self._sleep_blocked * (now - self._last_tick - 1))
+        self._last_tick = now
         moved = 0
+        blocked = 0
         count = len(self.sources)
-        # Rotate the starting source each cycle for fairness.
+        # Rotate the starting source each cycle for fairness.  The cycle
+        # number is the rotation (identical to a per-tick increment under
+        # the legacy stepper, and well-defined across skipped cycles).
+        start = now % count
         for offset in range(count):
-            source = self.sources[(self._start + offset) % count]
+            source = self.sources[(start + offset) % count]
             while len(source) and moved < self.width:
                 request = source.peek()
                 target = self.targets[self.target_of(request.addr)]
                 if not target.can_push():
                     self.stats.add(self.name + ".hol_blocks")
+                    blocked += 1
                     break
                 target.push(source.pop())
                 moved += 1
             if moved >= self.width:
                 break
-        self._start += 1
+        self._moved = moved
+        self._sleep_blocked = blocked
+
+    def next_wake(self, now):
+        if self._moved >= self.width:
+            return now + 1  # bandwidth-limited: there may be more to move
+        # Otherwise every remaining head is blocked on a full target (a pop
+        # wakes us) or every source is empty (a push wakes us).
+        return None
 
     @property
     def busy(self):

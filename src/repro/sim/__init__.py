@@ -21,7 +21,12 @@ order for correctness (ordering only shifts results by bounded, constant
 pipeline skew).
 """
 
-from repro.sim.engine import Component, SimulationError, Simulator
+from repro.sim.engine import (
+    Component,
+    SimulationError,
+    Simulator,
+    use_scheduler,
+)
 from repro.sim.queues import FIFO, LatencyPipe
 from repro.sim.stats import Stats
 from repro.sim.trace import TraceEvent, TraceLog
@@ -35,4 +40,5 @@ __all__ = [
     "Stats",
     "TraceEvent",
     "TraceLog",
+    "use_scheduler",
 ]

@@ -6,6 +6,12 @@ not visible to ``pop``/``peek`` until cycle *t+1*.  The owning
 to commit staged pushes.  This decouples component evaluation order from
 simulation results and models single-cycle hop latency between pipeline
 stages.
+
+Channels created by (or adopted into) a simulator also feed its event
+scheduler: a push wakes the channel's registered readers, a pop of a full
+FIFO wakes its registered writers, and idle transitions maintain the O(1)
+quiescence count.  Standalone channels (``_engine is None``) skip all of
+that and behave exactly as before.
 """
 
 from collections import deque
@@ -33,6 +39,10 @@ class FIFO:
         self._staged = deque()
         self.total_pushed = 0
         self.total_popped = 0
+        self._engine = None  # owning Simulator, set on register/adopt
+        self._readers = []  # components woken when data arrives
+        self._writers = []  # components woken when a full queue frees
+        self._dirty = False  # staged pushes pending (engine sync list)
 
     def __len__(self):
         """Number of committed (poppable) entries."""
@@ -55,8 +65,11 @@ class FIFO:
             raise OverflowError(
                 "push to full FIFO %r (capacity %d)" % (self.name, self.capacity)
             )
+        was_idle = not self._committed and not self._staged
         self._staged.append(item)
         self.total_pushed += 1
+        if self._engine is not None:
+            self._engine._fifo_pushed(self, was_idle)
 
     def peek(self):
         """Return the oldest committed entry without removing it."""
@@ -68,8 +81,16 @@ class FIFO:
         """Remove and return the oldest committed entry."""
         if not self._committed:
             raise IndexError("pop from empty FIFO %r" % (self.name,))
+        was_full = (self.capacity is not None
+                    and len(self._committed) + len(self._staged)
+                    >= self.capacity)
         self.total_popped += 1
-        return self._committed.popleft()
+        item = self._committed.popleft()
+        if self._engine is not None:
+            self._engine._fifo_popped(
+                self, was_full, not self._committed and not self._staged
+            )
+        return item
 
     def sync(self):
         """Commit staged pushes.  Called by the simulator between cycles."""
@@ -85,8 +106,14 @@ class FIFO:
     def drain(self):
         """Pop and return every committed entry (bulk helper for tests)."""
         items = list(self._committed)
+        if not items:
+            return items
+        was_full = (self.capacity is not None
+                    and self.occupancy >= self.capacity)
         self.total_popped += len(items)
         self._committed.clear()
+        if self._engine is not None:
+            self._engine._fifo_popped(self, was_full, not self._staged)
         return items
 
     def __repr__(self):
@@ -122,6 +149,9 @@ class LatencyPipe:
         self._ready = deque()
         self._pushed_this_cycle = 0
         self.total_pushed = 0
+        self._engine = None
+        self._readers = []
+        self._writers = []
 
     def can_push(self):
         """True if per-cycle bandwidth allows another push this cycle."""
@@ -135,9 +165,13 @@ class LatencyPipe:
             raise OverflowError(
                 "push exceeds bandwidth %r on pipe %r" % (self.bandwidth, self.name)
             )
+        was_idle = not self._in_flight and not self._ready
         self._pushed_this_cycle += 1
         self.total_pushed += 1
-        self._in_flight.append((now + self.latency, item))
+        ready_cycle = now + self.latency
+        self._in_flight.append((ready_cycle, item))
+        if self._engine is not None:
+            self._engine._pipe_pushed(self, was_idle, ready_cycle)
 
     def advance(self, now):
         """Move entries whose delay elapsed into the ready queue."""
@@ -149,6 +183,10 @@ class LatencyPipe:
         """True if an entry is available to pop this cycle."""
         return bool(self._ready)
 
+    def next_ready(self):
+        """Ready cycle of the oldest in-flight entry, or ``None`` if none."""
+        return self._in_flight[0][0] if self._in_flight else None
+
     def peek(self):
         if not self._ready:
             raise IndexError("peek on empty pipe %r" % (self.name,))
@@ -157,7 +195,12 @@ class LatencyPipe:
     def pop(self):
         if not self._ready:
             raise IndexError("pop from empty pipe %r" % (self.name,))
-        return self._ready.popleft()
+        item = self._ready.popleft()
+        if self._engine is not None:
+            self._engine._pipe_popped(
+                self, not self._in_flight and not self._ready
+            )
+        return item
 
     @property
     def idle(self):

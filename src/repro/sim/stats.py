@@ -56,6 +56,17 @@ class Stats:
             if name == prefix or name.startswith(full)
         )
 
+    def record_engine(self, sim):
+        """Snapshot a simulator's scheduler counters under ``engine.*``.
+
+        Uses :meth:`set` (not :meth:`add`): the simulator's counters are
+        cumulative, so re-recording after a later run phase overwrites the
+        snapshot with the new totals.
+        """
+        for key, value in sim.engine_counters().items():
+            self.set("engine." + key, value)
+        return self
+
     def merge(self, other):
         """Add every counter from `other` into this object."""
         for name, value in other._counters.items():

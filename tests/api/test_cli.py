@@ -59,3 +59,34 @@ class TestCommands:
         assert "measured/paper" in out
         assert "CSR" in out
         assert "EBE HW scatter-add" in out
+
+
+class TestBench:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.smoke is False
+        assert args.repeats == 3
+        assert args.out == "results/engine_bench.json"
+
+    def test_bench_rejects_non_positive_repeats(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--smoke", "--repeats", "0"])
+
+    def test_bench_smoke_writes_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["smoke"] is True
+        workloads = report["workloads"]
+        assert set(workloads) == {"histogram", "spmv_ebe_hw",
+                                  "fig11_latency256"}
+        for entry in workloads.values():
+            # Both schedulers simulate the identical workload.
+            assert entry["event"]["cycles"] == entry["legacy"]["cycles"]
+            assert entry["event"]["cycles_per_second"] > 0
+            assert entry["speedup"] > 0
+        printed = capsys.readouterr().out
+        assert "speedup" in printed

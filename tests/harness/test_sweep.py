@@ -11,6 +11,15 @@ def fake_measure(config):
             * config.combining_store_entries}
 
 
+def cycles_measure(config):
+    """Module-level (picklable) measurement for the worker-pool tests."""
+    from repro.api import simulate_scatter_add
+
+    trace = [(17 * i) % 64 for i in range(128)]
+    run = simulate_scatter_add(trace, 1.0, num_targets=64, config=config)
+    return {"cycles": run.cycles}
+
+
 class TestSweep:
     def test_rows_per_value(self):
         result = sweep(MachineConfig.table1(), "fu_latency", (1, 2, 4),
@@ -70,3 +79,31 @@ class TestGridSweep:
                        "combining_store_entries", (2, 64), measure)
         # more entries never slower
         assert result.rows[0]["cycles"] >= result.rows[1]["cycles"]
+
+
+class TestParallelSweep:
+    def test_workers_rows_identical_to_serial(self):
+        serial = sweep(MachineConfig.table1(), "combining_store_entries",
+                       (2, 4, 8, 16), cycles_measure)
+        parallel = sweep(MachineConfig.table1(), "combining_store_entries",
+                         (2, 4, 8, 16), cycles_measure, workers=2)
+        assert parallel.columns == serial.columns
+        assert parallel.rows == serial.rows
+
+    def test_grid_workers_rows_identical_to_serial(self):
+        fields = {"fu_latency": (1, 4), "combining_store_entries": (4, 8)}
+        serial = grid_sweep(MachineConfig.table1(), fields, cycles_measure)
+        parallel = grid_sweep(MachineConfig.table1(), fields,
+                              cycles_measure, workers=3)
+        assert parallel.rows == serial.rows
+
+    def test_worker_count_capped_by_point_count(self):
+        # More workers than points must not hang or reorder anything.
+        result = sweep(MachineConfig.table1(), "fu_latency", (1, 2),
+                       fake_measure, workers=8)
+        assert result.column("fu_latency") == [1, 2]
+
+    def test_single_point_runs_in_process(self):
+        result = sweep(MachineConfig.table1(), "fu_latency", (3,),
+                       fake_measure, workers=4)
+        assert result.rows == [{"fu_latency": 3, "latency_product": 24}]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Component, SimulationError, Simulator
+from repro.sim.engine import Component, Simulator
 from repro.sim.queues import FIFO, LatencyPipe
 
 
@@ -57,7 +57,10 @@ class TestRunBounds:
         sim.register(Busy("b"))
         assert sim.run(until=0) == 0
 
-    def test_until_beyond_max_cycles_raises(self):
+    def test_until_beyond_max_cycles_is_a_value_error(self):
+        # Asking for a bound past the safety limit is a caller error and is
+        # rejected up front (the old behaviour silently clamped the bound,
+        # then raised SimulationError after grinding to max_cycles).
         sim = Simulator(max_cycles=5)
 
         class Busy(Component):
@@ -69,8 +72,23 @@ class TestRunBounds:
                 return True
 
         sim.register(Busy("b"))
-        with pytest.raises(SimulationError):
+        with pytest.raises(ValueError):
             sim.run(until=100)
+        assert sim.cycle == 0  # rejected before any cycle executed
+
+    def test_until_at_max_cycles_still_allowed(self):
+        sim = Simulator(max_cycles=5)
+
+        class Busy(Component):
+            def tick(self, now):
+                pass
+
+            @property
+            def busy(self):
+                return True
+
+        sim.register(Busy("b"))
+        assert sim.run(until=5) == 5
 
     def test_cycle_counter_monotone_across_runs(self):
         sim = Simulator()

@@ -140,3 +140,103 @@ class TestLatencyPipe:
         pipe.advance(1)
         pipe.pop()
         assert pipe.idle
+
+
+class TestEngineHooks:
+    """Channel hooks drive the event scheduler's wake and idle tracking."""
+
+    def _sim(self):
+        from repro.sim.engine import Simulator
+
+        return Simulator(scheduler="event")
+
+    def test_push_wakes_watching_reader_next_cycle(self):
+        from repro.sim.engine import Component, Simulator
+
+        sim = Simulator(scheduler="event")
+        queue = sim.fifo(capacity=4, name="q")
+        reader = sim.register(Component("reader"))
+        reader.watch(queue)
+        reader._wake_sched = None
+        queue.push("x")
+        # Staged pushes commit at end of cycle, so the wake is for cycle+1.
+        assert reader._wake_sched == sim.cycle + 1
+
+    def test_pop_of_full_fifo_wakes_feeding_writer(self):
+        from repro.sim.engine import Component, Simulator
+
+        sim = Simulator(scheduler="event")
+        queue = sim.fifo(capacity=2, name="q")
+        writer = sim.register(Component("writer"))
+        writer.feeds(queue)
+        queue.push(1)
+        queue.push(2)
+        queue.sync()
+        writer._wake_sched = None
+        queue.pop()
+        assert writer._wake_sched is not None
+
+    def test_pop_of_non_full_fifo_does_not_wake_writer(self):
+        from repro.sim.engine import Component, Simulator
+
+        sim = Simulator(scheduler="event")
+        queue = sim.fifo(capacity=8, name="q")
+        writer = sim.register(Component("writer"))
+        writer.feeds(queue)
+        queue.push(1)
+        queue.sync()
+        writer._wake_sched = None
+        queue.pop()
+        assert writer._wake_sched is None
+
+    def test_fifo_occupancy_tracked_for_quiescence(self):
+        sim = self._sim()
+        queue = sim.fifo(capacity=4, name="q")
+        assert sim._active_channels == 0
+        queue.push("x")
+        assert sim._active_channels == 1
+        queue.sync()
+        queue.pop()
+        assert sim._active_channels == 0
+
+    def test_drain_updates_idle_tracking_once(self):
+        sim = self._sim()
+        queue = sim.fifo(capacity=4, name="q")
+        for item in range(3):
+            queue.push(item)
+        queue.sync()
+        assert sim._active_channels == 1
+        assert queue.drain() == [0, 1, 2]
+        assert sim._active_channels == 0
+
+    def test_pipe_push_wakes_reader_at_ready_cycle(self):
+        from repro.sim.engine import Component, Simulator
+
+        sim = Simulator(scheduler="event")
+        pipe = sim.pipe(5, name="p")
+        reader = sim.register(Component("reader"))
+        reader.watch(pipe)
+        reader._wake_sched = None
+        pipe.push("x", now=0)
+        assert reader._wake_sched == 5
+
+    def test_pipe_idle_transitions_tracked(self):
+        sim = self._sim()
+        pipe = sim.pipe(2, name="p")
+        assert sim._active_channels == 0
+        pipe.push("x", now=0)
+        assert sim._active_channels == 1
+        pipe.advance(2)
+        pipe.pop()
+        assert sim._active_channels == 0
+
+    def test_standalone_channels_skip_engine_hooks(self):
+        # Channels never registered with a simulator must work unchanged.
+        queue = FIFO(capacity=1)
+        queue.push("a")
+        queue.sync()
+        assert queue.pop() == "a"
+        pipe = LatencyPipe(latency=0)
+        pipe.push("a", now=0)
+        pipe.advance(0)
+        assert pipe.pop() == "a"
