@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import MachineConfig, scatter_add_reference, simulate_scatter_add
+from repro import MachineConfig, Simulation, scatter_add_reference
 from repro.software import PrivatizationScatterAdd, SortScanScatterAdd
 
 
@@ -31,8 +31,8 @@ def main():
              config.fu_latency))
     print("Histogram: %d updates into %d bins\n" % (num_updates, num_bins))
 
-    hardware = simulate_scatter_add(indices, 1.0, num_targets=num_bins,
-                                    config=config)
+    hardware = Simulation(config).run("scatter_add", indices, 1.0,
+                                      num_targets=num_bins)
     assert np.array_equal(hardware.result, expected), "hardware diverged!"
 
     sortscan = SortScanScatterAdd(config).run(indices, 1.0,

@@ -15,7 +15,7 @@ Run:  python examples/scatter_extensions.py
 
 import numpy as np
 
-from repro import MachineConfig, scatter_op_reference, simulate_scatter_op
+from repro import MachineConfig, Simulation, scatter_op_reference
 
 CELLS = 256
 READINGS = 4096
@@ -29,6 +29,7 @@ def main():
     transmissions = rng.uniform(0.90, 1.0, size=READINGS)
 
     config = MachineConfig.table1()
+    sim = Simulation(config)
     print("Fusing %d readings into %d grid cells with one atomic pass "
           "per operation\n" % (READINGS, CELLS))
 
@@ -38,8 +39,8 @@ def main():
         ("max intensity", "scatter_max", intensities, np.zeros(CELLS)),
         ("transmission", "scatter_mul", transmissions, np.ones(CELLS)),
     ):
-        run = simulate_scatter_op(op, cells, values, num_targets=CELLS,
-                                  config=config, initial=initial)
+        run = sim.run(op, cells, values, num_targets=CELLS,
+                      initial=initial)
         expected = scatter_op_reference(op, initial, cells, values)
         assert np.allclose(run.result, expected, rtol=1e-12), name
         runs[name] = run

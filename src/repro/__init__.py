@@ -11,17 +11,20 @@ figure of the paper's evaluation section.
 Quickstart::
 
     import numpy as np
-    from repro import scatter_add_reference, simulate_scatter_add
+    from repro import Simulation, scatter_add_reference
 
     indices = np.random.default_rng(0).integers(0, 2048, size=4096)
-    run = simulate_scatter_add(indices, 1.0, num_targets=2048)
+    run = Simulation().run("scatter_add", indices, 1.0, num_targets=2048)
     assert np.array_equal(run.result,
                           scatter_add_reference(np.zeros(2048), indices, 1.0))
     print(run.cycles, "cycles =", run.microseconds, "us")
+    print(run.bottlenecks(top=3))
 """
 
 from repro.api import (
     ScatterAddRun,
+    ScatterRun,
+    Simulation,
     scatter_add_reference,
     scatter_op_reference,
     simulate_scatter_add,
@@ -57,6 +60,8 @@ __all__ = [
     "Scatter",
     "ScatterAdd",
     "ScatterAddRun",
+    "ScatterRun",
+    "Simulation",
     "StreamProcessor",
     "StreamProgram",
     "scatter_add_reference",

@@ -1,21 +1,48 @@
 """High-level public API.
 
-Two layers:
+Three layers:
 
 - **Functional reference**: :func:`scatter_add_reference` implements the
   paper's ``scatterAdd(a, b, c)`` semantics (HPF's array combining scatter)
   directly with numpy -- the ground truth every simulated and software
-  implementation is checked against.
-- **Simulation**: :func:`simulate_scatter_add` runs the same operation
-  through the cycle-approximate hardware model and returns both the result
-  array and the performance measurement.
+  implementation is checked against.  :func:`scatter_op_reference` extends
+  it to the Section 3.3 operations (min, max, multiply).
+- **Simulation front door**: :class:`Simulation` configures the
+  cycle-approximate hardware model once, then :meth:`Simulation.run`
+  executes any supported scatter operation and returns a
+  :class:`ScatterRun` -- result array, timing, statistics, and (when
+  requested) an observation with timelines and an event trace ready for
+  the :mod:`repro.obs` exporters.
+- **Legacy shims**: :func:`simulate_scatter_add` and
+  :func:`simulate_scatter_op` forward to :class:`Simulation` and emit a
+  :class:`DeprecationWarning`.
+
+Quickstart::
+
+    from repro.api import Simulation
+
+    sim = Simulation()                       # Table 1 machine
+    run = sim.run("scatter_add", [1, 2, 2, 3], 1.0, num_targets=5)
+    print(run.result, run.cycles, run.bottlenecks()[0])
 """
+
+import warnings
 
 import numpy as np
 
 from repro.config import MachineConfig
 from repro.node.processor import StreamProcessor
 from repro.node.program import Phase, ScatterAdd, StreamProgram
+from repro.obs.session import Observation
+
+
+def _validate_indices(b, size):
+    """Shared bounds check: every index must land inside the target array."""
+    if b.size and (b.min() < 0 or b.max() >= size):
+        raise IndexError(
+            "index array out of range: [%d, %d] vs target length %d"
+            % (b.min(), b.max(), size)
+        )
 
 
 def scatter_add_reference(a, b, c):
@@ -27,11 +54,7 @@ def scatter_add_reference(a, b, c):
     """
     a = np.array(a, dtype=np.float64, copy=True)
     b = np.asarray(b, dtype=np.int64)
-    if b.size and (b.min() < 0 or b.max() >= a.size):
-        raise IndexError(
-            "index array out of range: [%d, %d] vs target length %d"
-            % (b.min(), b.max(), a.size)
-        )
+    _validate_indices(b, a.size)
     c = np.broadcast_to(np.asarray(c, dtype=np.float64), b.shape)
     np.add.at(a, b, c)
     return a
@@ -50,6 +73,7 @@ def scatter_op_reference(op, a, b, c):
     """Reference semantics for the extended operations of Section 3.3."""
     a = np.array(a, dtype=np.float64, copy=True)
     b = np.asarray(b, dtype=np.int64)
+    _validate_indices(b, a.size)
     c = np.broadcast_to(np.asarray(c, dtype=np.float64), b.shape)
     try:
         ufunc = _UFUNC_AT[op]
@@ -59,89 +83,185 @@ def scatter_op_reference(op, a, b, c):
     return a
 
 
-class ScatterAddRun:
-    """Result of a simulated scatter-add: timing plus the produced array."""
+class ScatterRun:
+    """Result of one simulated scatter operation.
 
-    def __init__(self, result, program_result):
+    Carries the produced array, the timing measurement, the statistics bag,
+    and -- when the :class:`Simulation` was created with ``sample_every`` or
+    ``trace`` -- the :class:`~repro.obs.session.Observation` holding
+    per-component timelines and the event trace.
+    """
+
+    def __init__(self, result, program_result, observation=None):
         self.result = result
+        self.config = program_result.config
         self.cycles = program_result.cycles
         self.microseconds = program_result.microseconds
         self.stats = program_result.stats
         self.mem_refs = program_result.mem_refs
+        self.observation = observation
+
+    def bottlenecks(self, top=None):
+        """Components ranked by busy fraction (see ``repro.harness.report``)."""
+        from repro.harness.report import bottlenecks
+
+        return bottlenecks(self.stats, self.cycles, config=self.config,
+                           top=top)
+
+    def write_trace(self, path):
+        """Write a chrome://tracing JSON file for this run.
+
+        Requires the run to have been observed with ``trace=True``.
+        """
+        from repro.obs.export import write_chrome_trace
+
+        if self.observation is None:
+            raise ValueError(
+                "run was not traced; use Simulation(..., trace=True)")
+        return write_chrome_trace(path, self.observation)
+
+    def write_metrics(self, path):
+        """Write the machine-readable metrics.json for this run."""
+        from repro.obs.export import write_metrics
+
+        observation = self.observation
+        if observation is None:
+            observation = Observation()
+            scope = observation.attach(None, self.stats, label="run",
+                                       config=self.config)
+            scope._cycles = self.cycles
+        return write_metrics(path, observation)
 
     def __repr__(self):
-        return "ScatterAddRun(%d cycles, %.3f us)" % (
+        return "ScatterRun(%d cycles, %.3f us)" % (
             self.cycles, self.microseconds,
         )
 
 
-def simulate_scatter_add(indices, values=1.0, num_targets=None, config=None,
-                         initial=None, chaining=True, base=0):
-    """Run one hardware scatterAdd through the cycle-approximate model.
+#: Backwards-compatible alias (pre-redesign name).
+ScatterAddRun = ScatterRun
+
+
+class Simulation:
+    """Configured front door to the cycle-approximate hardware model.
 
     Parameters
     ----------
-    indices:
-        Index array `b` (word offsets from `base`).
-    values:
-        Value array `c`, or a scalar for the constant-increment form.
-    num_targets:
-        Length of the target array `a` (default: ``max(indices) + 1``).
     config:
         :class:`~repro.config.MachineConfig`; defaults to Table 1.
-    initial:
-        Initial contents of `a` (default zeros).
     chaining:
         Combining-store chaining (ablation handle; the hardware has it on).
+    sample_every:
+        When > 0, sample per-component occupancy/utilisation timelines
+        every N cycles into ``run.observation``.
+    trace:
+        When true, collect scatter-add unit events (activate / combine /
+        sum) into ``run.observation`` for Chrome-trace export.
 
-    Returns a :class:`ScatterAddRun` whose ``result`` equals
-    :func:`scatter_add_reference` exactly.
+    Every :meth:`run` builds a fresh processor (runs are independent and
+    deterministic); the configuration and tuning knobs are shared.
     """
-    indices = np.asarray(indices, dtype=np.int64)
-    if num_targets is None:
-        num_targets = int(indices.max()) + 1 if indices.size else 0
-    config = config if config is not None else MachineConfig.table1()
-    processor = StreamProcessor(config, chaining=chaining)
-    if initial is not None:
-        processor.load_array(base, np.asarray(initial, dtype=np.float64))
-    if np.isscalar(values):
-        op_values = float(values)
-    else:
-        op_values = np.asarray(values, dtype=np.float64)
-    op = ScatterAdd([base + int(i) for i in indices], op_values)
-    program_result = processor.run(StreamProgram([Phase([op])]))
-    result = processor.read_result(base, num_targets)
-    return ScatterAddRun(result, program_result)
+
+    _OPS = ("scatter_add", "scatter_min", "scatter_max", "scatter_mul",
+            "fetch_add")
+
+    def __init__(self, config=None, *, chaining=True, sample_every=0,
+                 trace=False, trace_capacity=100_000):
+        self.config = config if config is not None else MachineConfig.table1()
+        self.chaining = chaining
+        self.sample_every = sample_every
+        self.trace = trace
+        self.trace_capacity = trace_capacity
+
+    def _observation(self):
+        if not (self.sample_every or self.trace):
+            return None
+        return Observation(sample_every=self.sample_every, trace=self.trace,
+                           trace_capacity=self.trace_capacity)
+
+    def run(self, op, indices, values=1.0, *, num_targets=None, initial=None,
+            base=0):
+        """Simulate one scatter operation; returns a :class:`ScatterRun`.
+
+        Parameters
+        ----------
+        op:
+            ``"scatter_add"``, ``"scatter_min"``, ``"scatter_max"``,
+            ``"scatter_mul"`` or ``"fetch_add"``.
+        indices:
+            Index array `b` (word offsets from `base`).
+        values:
+            Value array `c`, or a scalar for the constant-operand form.
+        num_targets:
+            Length of the target array `a` (default: ``max(indices) + 1``).
+        initial:
+            Initial contents of `a` (default zeros).  For min/max/mul the
+            target should be initialised -- untouched memory reads as 0.0,
+            which is not the operation identity.
+        base:
+            Word address of ``a[0]`` in simulated memory.
+
+        ``run.result`` equals the matching reference function exactly.
+        """
+        from repro.node.agu import StreamMemOp
+
+        if op not in self._OPS:
+            raise ValueError("unsupported scatter operation %r" % (op,))
+        indices = np.asarray(indices, dtype=np.int64)
+        if num_targets is None:
+            num_targets = int(indices.max()) + 1 if indices.size else 0
+        _validate_indices(indices, num_targets)
+        observation = self._observation()
+        processor = StreamProcessor(self.config, chaining=self.chaining,
+                                    obs=observation)
+        if initial is not None:
+            processor.load_array(base, np.asarray(initial, dtype=np.float64))
+        if np.isscalar(values):
+            op_values = float(values)
+        else:
+            op_values = np.asarray(values, dtype=np.float64)
+        addrs = [base + int(i) for i in indices]
+        if op == "scatter_add":
+            stream_op = ScatterAdd(addrs, op_values)
+        else:
+            stream_op = StreamMemOp(op, addrs, op_values)
+        program_result = processor.run(StreamProgram([Phase([stream_op])]))
+        result = processor.read_result(base, num_targets)
+        return ScatterRun(result, program_result, observation=observation)
+
+    def __repr__(self):
+        return "Simulation(%r, chaining=%r)" % (self.config, self.chaining)
+
+
+def simulate_scatter_add(indices, values=1.0, num_targets=None, config=None,
+                         initial=None, chaining=True, base=0):
+    """Deprecated: use ``Simulation(config).run("scatter_add", ...)``.
+
+    Kept as a thin shim with the original signature and behaviour.
+    """
+    warnings.warn(
+        "simulate_scatter_add() is deprecated; use "
+        "repro.api.Simulation(config).run('scatter_add', ...)",
+        DeprecationWarning, stacklevel=2,
+    )
+    sim = Simulation(config, chaining=chaining)
+    return sim.run("scatter_add", indices, values, num_targets=num_targets,
+                   initial=initial, base=base)
 
 
 def simulate_scatter_op(op, indices, values, num_targets=None, config=None,
                         initial=None, base=0):
-    """Simulate one of the extended atomic operations (Section 3.3).
+    """Deprecated: use ``Simulation(config).run(op, ...)``.
 
-    `op` is one of ``"scatter_add"``, ``"scatter_min"``, ``"scatter_max"``,
-    ``"scatter_mul"``.  For min/max/mul the target array should be
-    initialised (via `initial`) -- untouched memory reads as 0.0, which is
-    not the operation identity.
-
-    Returns a :class:`ScatterAddRun`; ``result`` matches
-    :func:`scatter_op_reference` exactly.
+    Kept as a thin shim with the original signature and behaviour.
     """
-    from repro.node.agu import StreamMemOp
-
+    warnings.warn(
+        "simulate_scatter_op() is deprecated; use "
+        "repro.api.Simulation(config).run(op, ...)",
+        DeprecationWarning, stacklevel=2,
+    )
     if op not in _UFUNC_AT or op == "fetch_add":
         raise ValueError("unsupported scatter operation %r" % (op,))
-    indices = np.asarray(indices, dtype=np.int64)
-    if num_targets is None:
-        num_targets = int(indices.max()) + 1 if indices.size else 0
-    config = config if config is not None else MachineConfig.table1()
-    processor = StreamProcessor(config)
-    if initial is not None:
-        processor.load_array(base, np.asarray(initial, dtype=np.float64))
-    if np.isscalar(values):
-        op_values = float(values)
-    else:
-        op_values = np.asarray(values, dtype=np.float64)
-    stream_op = StreamMemOp(op, [base + int(i) for i in indices], op_values)
-    program_result = processor.run(StreamProgram([Phase([stream_op])]))
-    result = processor.read_result(base, num_targets)
-    return ScatterAddRun(result, program_result)
+    sim = Simulation(config)
+    return sim.run(op, indices, values, num_targets=num_targets,
+                   initial=initial, base=base)

@@ -81,6 +81,18 @@ class CacheBank(Component):
         # before set selection or only 1/banks of the sets would be used.
         self._bank_stride = config.cache_banks
 
+        # Typed metric handles (see repro.obs.metrics): created once,
+        # bumped on the hot path; counters write through to `stats`.
+        registry = stats.registry
+        self._m_hits = registry.counter(name + ".hits")
+        self._m_misses = registry.counter(name + ".misses")
+        self._m_mshr_hits = registry.counter(name + ".mshr_hits")
+        self._m_writebacks = registry.counter(name + ".writebacks")
+        self._m_sumbacks = registry.counter(name + ".sumbacks")
+        self._m_sumback_words = registry.counter(name + ".sumback_words")
+        self._m_victim_reclaims = registry.counter(name + ".victim_reclaims")
+        self._m_combining_allocs = registry.counter(name + ".combining_allocs")
+
         self.req_in = sim.fifo(capacity=8, name=name + ".req_in")
         self.fill_in = sim.fifo(capacity=None, name=name + ".fill_in")
 
@@ -138,7 +150,7 @@ class CacheBank(Component):
                     MemoryRequest(OP_WRITE, line.base, list(line.values),
                                   words=self.line_words)
                 )
-                self.stats.add(self.name + ".writebacks")
+                self._m_writebacks.inc()
                 self._evict_retry.popleft()
             else:  # sum-back: one request per dirty word
                 while line.any_dirty:
@@ -151,9 +163,9 @@ class CacheBank(Component):
                     # The delta has left the line; reset to identity so a
                     # victim reclaim cannot double-count it.
                     line.values[offset] = line.identity
-                    self.stats.add(self.name + ".sumback_words")
+                    self._m_sumback_words.inc()
                 else:
-                    self.stats.add(self.name + ".sumbacks")
+                    self._m_sumbacks.inc()
                     self._evict_retry.popleft()
                     continue
                 break
@@ -208,7 +220,7 @@ class CacheBank(Component):
         for position, (line, __) in enumerate(self._evict_retry):
             if line.base // self.line_words == line_idx:
                 del self._evict_retry[position]
-                self.stats.add(self.name + ".victim_reclaims")
+                self._m_victim_reclaims.inc()
                 return line
         return None
 
@@ -221,17 +233,17 @@ class CacheBank(Component):
             if line is not None:
                 self._install(line_idx, line)
         if line is not None:
-            self.stats.add(self.name + ".hits")
+            self._m_hits.inc()
             self._apply_to_line(request, line, now)
             return True
         if line_idx in self._mshrs:
             # Secondary miss: piggyback on the outstanding fill.
             self._mshrs[line_idx].append(request)
-            self.stats.add(self.name + ".mshr_hits")
+            self._m_mshr_hits.inc()
             return True
         if len(self._mshrs) >= self.mshr_count:
             return False  # stall: all MSHRs busy
-        self.stats.add(self.name + ".misses")
+        self._m_misses.inc()
         base = line_base(request.addr, self.line_words)
         if request.combining:
             # Allocate at the operation identity without fetching.
@@ -239,7 +251,7 @@ class CacheBank(Component):
             line = _Line(base, [fill] * self.line_words, combining=True,
                          identity=fill)
             self._install(line_idx, line)
-            self.stats.add(self.name + ".combining_allocs")
+            self._m_combining_allocs.inc()
             self._apply_to_line(request, line, now)
             return True
         self._mshrs[line_idx] = [request]
@@ -334,6 +346,14 @@ class CacheBank(Component):
     # ------------------------------------------------------------------ #
     # introspection helpers (tests, flushing to memory at end of run)
     # ------------------------------------------------------------------ #
+    def obs_probes(self):
+        return (
+            ("mshrs", lambda now: len(self._mshrs)),
+            ("evict_backlog", lambda now: len(self._evict_retry)),
+            ("req_queue", lambda now: self.req_in.occupancy),
+            ("resident_lines", lambda now: self.resident_lines),
+        )
+
     @property
     def resident_lines(self):
         return sum(len(lines) for lines in self._sets)

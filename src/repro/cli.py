@@ -49,22 +49,64 @@ def _cmd_list(args):
     return 0
 
 
+def _observe_if_requested(args):
+    """Ambient observation context when any --trace-out / --metrics-out /
+    --sample-every flag is given; a no-op context otherwise."""
+    import contextlib
+
+    from repro.obs import observe
+
+    sample_every = getattr(args, "sample_every", 0) or 0
+    tracing = bool(getattr(args, "trace_out", None))
+    if not (sample_every or tracing or getattr(args, "metrics_out", None)):
+        return contextlib.nullcontext(None)
+    return observe(sample_every=sample_every, trace=tracing)
+
+
+def _export_observation(args, observation):
+    """Write and validate the artifacts requested on the command line."""
+    if observation is None:
+        return
+    from repro.obs import (
+        validate_chrome_trace,
+        validate_metrics,
+        write_chrome_trace,
+        write_metrics,
+    )
+
+    if getattr(args, "trace_out", None):
+        path = pathlib.Path(args.trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = write_chrome_trace(path, observation)
+        validate_chrome_trace(payload)
+        print("wrote %s (%d trace events)"
+              % (path, len(payload["traceEvents"])))
+    if getattr(args, "metrics_out", None):
+        path = pathlib.Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = write_metrics(path, observation)
+        validate_metrics(payload)
+        print("wrote %s (%d scopes)" % (path, len(payload["scopes"])))
+
+
 def _cmd_run(args):
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     out_dir = pathlib.Path(args.out_dir) if args.out_dir else None
-    for name in names:
-        result = _experiment(name)()
-        text = result.render()
-        print(text)
-        print()
-        if out_dir is not None:
-            out_dir.mkdir(parents=True, exist_ok=True)
-            (out_dir / (result.exp_id + ".txt")).write_text(text + "\n")
+    with _observe_if_requested(args) as observation:
+        for name in names:
+            result = _experiment(name)()
+            text = result.render()
+            print(text)
+            print()
+            if out_dir is not None:
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / (result.exp_id + ".txt")).write_text(text + "\n")
+    _export_observation(args, observation)
     return 0
 
 
 def _cmd_simulate(args):
-    from repro.api import scatter_add_reference, simulate_scatter_add
+    from repro.api import Simulation, scatter_add_reference
     from repro.software import (
         ColoringScatterAdd,
         PrivatizationScatterAdd,
@@ -77,8 +119,8 @@ def _cmd_simulate(args):
     expected = scatter_add_reference(np.zeros(args.range), indices, 1.0)
 
     if args.method == "hardware":
-        run = simulate_scatter_add(indices, 1.0, num_targets=args.range,
-                                   config=config)
+        run = Simulation(config).run("scatter_add", indices, 1.0,
+                                     num_targets=args.range)
     elif args.method == "sortscan":
         run = SortScanScatterAdd(config).run(indices, 1.0,
                                              num_targets=args.range)
@@ -94,6 +136,10 @@ def _cmd_simulate(args):
     print("  cycles: %d  (%.3f us at %.1f GHz)" % (
         run.cycles, config.cycles_to_us(run.cycles), config.frequency_ghz))
     print("  result matches numpy reference: %s" % exact)
+    if args.method == "hardware" and args.bottlenecks:
+        from repro.harness.report import render_bottlenecks
+
+        print(render_bottlenecks(run.bottlenecks(top=args.bottlenecks)))
     return 0 if exact else 1
 
 
@@ -104,7 +150,7 @@ def _bench_workloads(smoke):
     it simulated, so cycles-per-second compares schedulers on identical
     work.
     """
-    from repro.api import simulate_scatter_add
+    from repro.api import Simulation
     from repro.workloads.fem import build_tet_mesh
     from repro.workloads.spmv import SpMVWorkload
 
@@ -120,11 +166,11 @@ def _bench_workloads(smoke):
     fig11 = MachineConfig.uniform(latency=256, interval=2)
 
     return [
-        ("histogram", lambda: simulate_scatter_add(
-            hist_indices, 1.0, num_targets=2048, config=table1).cycles),
+        ("histogram", lambda: Simulation(table1).run(
+            "scatter_add", hist_indices, 1.0, num_targets=2048).cycles),
         ("spmv_ebe_hw", lambda: spmv.run_ebe_hardware(table1).cycles),
-        ("fig11_latency256", lambda: simulate_scatter_add(
-            fig11_indices, 1.0, num_targets=65536, config=fig11).cycles),
+        ("fig11_latency256", lambda: Simulation(fig11).run(
+            "scatter_add", fig11_indices, 1.0, num_targets=65536).cycles),
     ]
 
 
@@ -172,6 +218,17 @@ def _cmd_bench(args):
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(results, indent=2) + "\n")
     print("wrote " + str(out))
+    if args.trace_out or args.metrics_out:
+        # One extra, instrumented pass (outside the timing loops, so the
+        # numbers above stay clean) to produce the requested artifacts.
+        from repro.obs import observe
+
+        sample_every = args.sample_every or 64
+        with observe(sample_every=sample_every,
+                     trace=bool(args.trace_out)) as observation:
+            for name, runner in _bench_workloads(args.smoke):
+                runner()
+        _export_observation(args, observation)
     return 0
 
 
@@ -202,6 +259,18 @@ def _cmd_compare(args):
     return 0
 
 
+def _add_obs_arguments(parser):
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a chrome://tracing trace of the run to FILE")
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write machine-readable metrics.json to FILE")
+    parser.add_argument(
+        "--sample-every", type=int, default=0, metavar="N",
+        help="sample per-component timelines every N cycles")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -217,6 +286,7 @@ def build_parser():
                      help="experiment name (see 'list') or 'all'")
     run.add_argument("--out-dir", default=None,
                      help="also write rendered tables to this directory")
+    _add_obs_arguments(run)
 
     simulate = commands.add_parser(
         "simulate", help="time one scatter-add with a chosen method")
@@ -226,6 +296,9 @@ def build_parser():
     simulate.add_argument(
         "--method", default="hardware",
         choices=("hardware", "sortscan", "privatization", "coloring"))
+    simulate.add_argument(
+        "--bottlenecks", type=int, default=0, metavar="N",
+        help="also print the N most-utilised components (hardware only)")
 
     bench = commands.add_parser(
         "bench", help="time the event vs legacy simulation schedulers")
@@ -235,6 +308,7 @@ def build_parser():
                        help="timing repetitions per case (best is kept)")
     bench.add_argument("--out", default="results/engine_bench.json",
                        help="where to write the JSON benchmark report")
+    _add_obs_arguments(bench)
 
     area = commands.add_parser("area", help="die-area estimate")
     area.add_argument("--units", type=int, default=8)

@@ -39,6 +39,26 @@ class CombiningStore:
         self._entries = [None] * entries
         self._waiting = {}  # addr -> deque of entry ids, arrival order
         self.peak_occupancy = 0
+        self._occupancy_hist = None
+        self._peak_gauge = None
+
+    def attach_metrics(self, registry, prefix):
+        """Report occupancy into a typed-metric registry.
+
+        Creates ``<prefix>.occupancy`` -- a fixed-bucket histogram of the
+        store occupancy observed at each allocation (power-of-two edges up
+        to the capacity, so Figure 11/12-style store-size sweeps share
+        comparable buckets) -- and a ``<prefix>.peak_occupancy`` gauge.
+        """
+        edges = []
+        edge = 1
+        while edge < self.capacity:
+            edges.append(edge)
+            edge *= 2
+        edges.append(self.capacity)
+        self._occupancy_hist = registry.histogram(prefix + ".occupancy",
+                                                  edges)
+        self._peak_gauge = registry.gauge(prefix + ".peak_occupancy")
 
     @property
     def occupancy(self):
@@ -64,7 +84,13 @@ class CombiningStore:
         entry_id = self._free.pop()
         self._entries[entry_id] = _Entry(addr, value, op, reply_to, tag)
         self._waiting.setdefault(addr, deque()).append(entry_id)
-        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        occupancy = self.occupancy
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
+            if self._peak_gauge is not None:
+                self._peak_gauge.set(occupancy)
+        if self._occupancy_hist is not None:
+            self._occupancy_hist.observe(occupancy)
         return entry_id
 
     def pop_waiting(self, addr):

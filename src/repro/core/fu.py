@@ -51,6 +51,11 @@ class AddPipeline:
     def busy(self):
         return bool(self._stages)
 
+    @property
+    def in_flight(self):
+        """Operations currently inside the pipeline (occupancy probe)."""
+        return len(self._stages)
+
     def __repr__(self):
         return "AddPipeline(latency=%d, %d in flight)" % (
             self.latency, len(self._stages),

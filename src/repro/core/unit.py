@@ -58,6 +58,19 @@ class ScatterAddUnit(Component):
         self.trace = trace
         self.store = CombiningStore(config.combining_store_entries)
         self.fu = AddPipeline(config.fu_latency)
+        # Typed metric handles (see repro.obs.metrics): created once here,
+        # bumped on the hot path; counters write through to `stats`.
+        registry = stats.registry
+        self.store.attach_metrics(registry, name + ".store")
+        self._m_sums = registry.counter(name + ".sums")
+        self._m_fu_sums = registry.counter("fu.sums")
+        self._m_chained = registry.counter(name + ".chained")
+        self._m_result_writes = registry.counter(name + ".result_writes")
+        self._m_value_reads = registry.counter(name + ".value_reads")
+        self._m_bypassed = registry.counter(name + ".bypassed")
+        self._m_stall_cycles = registry.counter(name + ".stall_cycles")
+        self._m_atomics = registry.counter(name + ".atomics")
+        self._m_combined = registry.counter(name + ".combined")
         self.mem_out = mem_out
         self.chaining = chaining
         self.req_in = sim.fifo(capacity=4, name=name + ".req_in")
@@ -109,21 +122,21 @@ class ScatterAddUnit(Component):
         entry_id, addr, reply_to, tag, op = meta
         self.store.release(entry_id)
         self._send_ack(op, addr, old_value, reply_to, tag)
-        self.stats.add(self.name + ".sums")
-        self.stats.add("fu.sums")
+        self._m_sums.inc()
+        self._m_fu_sums.inc()
         if self.trace is not None:
             self.trace.emit(now, self.name, "sum", addr=addr, result=result)
         pending = self.store.waiting_count(addr)
         if self.chaining and pending:
             self._chained.append((addr, result))
-            self.stats.add(self.name + ".chained")
+            self._m_chained.inc()
             return
         combining = addr in self._combining_addrs
         if combining:
             self._push_mem(MemoryRequest(op, addr, result, combining=True))
         else:
             self._push_mem(MemoryRequest(OP_WRITE, addr, result))
-        self.stats.add(self.name + ".result_writes")
+        self._m_result_writes.inc()
         if pending:
             # Ablation path (chaining disabled): round-trip through memory.
             # The read is queued behind the write, so the bank's in-order
@@ -134,7 +147,7 @@ class ScatterAddUnit(Component):
                 self._push_mem(
                     MemoryRequest(OP_READ, addr, reply_to=self.value_in)
                 )
-                self.stats.add(self.name + ".value_reads")
+                self._m_value_reads.inc()
         else:
             self._active.discard(addr)
             self._combining_addrs.discard(addr)
@@ -161,7 +174,7 @@ class ScatterAddUnit(Component):
             if self._mem_retry or not self.mem_out.can_push():
                 return  # back-pressure: keep request at head
             self.mem_out.push(self.req_in.pop())
-            self.stats.add(self.name + ".bypassed")
+            self._m_bypassed.inc()
             return
         if self.store.full:
             # Interval stall accounting: remember when the blocked span
@@ -171,14 +184,14 @@ class ScatterAddUnit(Component):
                 self._stall_since = now
             return
         if self._stall_since is not None:
-            self.stats.add(self.name + ".stall_cycles", now - self._stall_since)
+            self._m_stall_cycles.inc(now - self._stall_since)
             self._stall_since = None
         self.req_in.pop()
-        self.stats.add(self.name + ".atomics")
+        self._m_atomics.inc()
         self.store.allocate(request.addr, request.value, request.op,
                             reply_to=request.reply_to, tag=request.tag)
         if request.addr in self._active:
-            self.stats.add(self.name + ".combined")
+            self._m_combined.inc()
             if self.trace is not None:
                 self.trace.emit(now, self.name, "combine",
                                 addr=request.addr, value=request.value)
@@ -196,7 +209,7 @@ class ScatterAddUnit(Component):
             self._push_mem(
                 MemoryRequest(OP_READ, request.addr, reply_to=self.value_in)
             )
-            self.stats.add(self.name + ".value_reads")
+            self._m_value_reads.inc()
 
     # ------------------------------------------------------------------ #
     def tick(self, now):
@@ -241,4 +254,11 @@ class ScatterAddUnit(Component):
             or self._chained
             or self._mem_retry
             or self._ack_retry
+        )
+
+    def obs_probes(self):
+        return (
+            ("store_occupancy", lambda now: self.store.occupancy),
+            ("fu_inflight", lambda now: self.fu.in_flight),
+            ("req_queue", lambda now: self.req_in.occupancy),
         )

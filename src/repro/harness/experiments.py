@@ -209,7 +209,7 @@ def figure11(entries=(2, 4, 8, 16, 64),
     >= 16 entries performance is independent of FU latency and nearly
     independent of memory latency; 64 entries hide 256-cycle latency.
     """
-    from repro.api import simulate_scatter_add
+    from repro.api import Simulation
     from repro.workloads.histogram import generate_dataset
 
     data = generate_dataset(length, index_range, seed)
@@ -221,16 +221,16 @@ def figure11(entries=(2, 4, 8, 16, 64),
                 latency=latency, interval=2,
                 combining_store_entries=entry_count, fu_latency=4,
             )
-            run = simulate_scatter_add(data, 1.0, num_targets=index_range,
-                                       config=config)
+            run = Simulation(config).run("scatter_add", data, 1.0,
+                                         num_targets=index_range)
             row["mem%d_us" % latency] = run.microseconds
         for fu_latency in fu_latencies:
             config = MachineConfig.uniform(
                 latency=16, interval=2,
                 combining_store_entries=entry_count, fu_latency=fu_latency,
             )
-            run = simulate_scatter_add(data, 1.0, num_targets=index_range,
-                                       config=config)
+            run = Simulation(config).run("scatter_add", data, 1.0,
+                                         num_targets=index_range)
             row["fu%d_us" % fu_latency] = run.microseconds
         rows.append(row)
     columns = (["entries"]
@@ -253,7 +253,7 @@ def figure12(entries=(2, 4, 8, 16, 64), intervals=(1, 2, 4, 16),
     Paper: low bandwidth bounds the wide-range case regardless of store
     size, but with few bins the combining store captures most requests.
     """
-    from repro.api import simulate_scatter_add
+    from repro.api import Simulation
     from repro.workloads.histogram import generate_dataset
 
     rows = []
@@ -266,9 +266,8 @@ def figure12(entries=(2, 4, 8, 16, 64), intervals=(1, 2, 4, 16),
                     latency=16, interval=interval,
                     combining_store_entries=entry_count,
                 )
-                run = simulate_scatter_add(data, 1.0,
-                                           num_targets=index_range,
-                                           config=config)
+                run = Simulation(config).run("scatter_add", data, 1.0,
+                                             num_targets=index_range)
                 row["r%d_i%d_us" % (index_range, interval)] = run.microseconds
         rows.append(row)
     columns = ["entries"] + [

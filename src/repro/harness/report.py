@@ -98,3 +98,106 @@ def format_table(columns, rows):
     lines = [fmt(columns), fmt(["-" * w for w in widths])]
     lines.extend(fmt(line) for line in cells)
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Bottleneck analysis: rank components by busy fraction.
+# --------------------------------------------------------------------- #
+
+def _component_events(values, config):
+    """Per-component (events, per-cycle capacity) derived from counters.
+
+    Every modeled component type exposes a counter family whose total,
+    divided by its per-cycle service capacity, approximates the busy
+    fraction.  Works from the flat stats bag alone, so it applies to any
+    finished run -- no sampling required.
+    """
+    per_component = {}
+
+    def add(component, amount, capacity):
+        events, cap = per_component.get(component, (0.0, capacity))
+        per_component[component] = (events + amount, capacity)
+
+    for key, value in values.items():
+        component, __, suffix = key.rpartition(".")
+        if not component:
+            continue
+        if suffix == "sums" and component != "fu":
+            # Scatter-add units complete at most one sum per cycle.
+            add(component, value, 1.0)
+        elif suffix in ("hits", "misses", "mshr_hits"):
+            # Cache banks service a bounded number of words per cycle.
+            cap = float(config.bank_words_per_cycle) if config else 1.0
+            add(component, value, cap)
+        elif suffix == "busy_cycles":
+            # DRAM / uniform memory: busy channel-cycles.
+            if config is not None and key.endswith(".dram.busy_cycles"):
+                cap = float(config.dram_channels)
+            else:
+                cap = 1.0
+            add(component, value, cap)
+        elif suffix == "refs" and component != "memsys":
+            # Address generators issue up to their width per cycle.
+            cap = float(config.agu_words_per_cycle) if config else 1.0
+            add(component, value, cap)
+        elif suffix == "words" and config is not None and "xbar" in component:
+            cap = float(config.nodes * config.network_bw_words)
+            add(component, value, cap)
+        elif suffix in ("local_refs", "combined_refs", "remote_refs"):
+            cap = float(config.cache_words_per_cycle) if config else 1.0
+            add(component, value, cap)
+    return per_component
+
+
+def bottlenecks(stats, cycles, config=None, top=None):
+    """Components ranked by busy fraction, most-utilised first.
+
+    Parameters
+    ----------
+    stats:
+        :class:`~repro.sim.stats.Stats` or a plain counter mapping.
+    cycles:
+        Wall-clock cycles of the run being analysed.
+    config:
+        Optional :class:`~repro.config.MachineConfig` for per-cycle
+        capacities; without it every component is assumed single-issue.
+    top:
+        Truncate to the N most-utilised components.
+
+    Returns a list of dicts with ``component``, ``events``, ``capacity``
+    and ``busy_fraction`` (clamped to [0, 1]).
+    """
+    values = stats if isinstance(stats, dict) else stats.as_dict()
+    if not cycles:
+        return []
+    ranked = []
+    for component, (events, capacity) in sorted(
+            _component_events(values, config).items()):
+        fraction = events / (cycles * capacity)
+        ranked.append({
+            "component": component,
+            "events": events,
+            "capacity": capacity,
+            "busy_fraction": min(1.0, fraction),
+        })
+    ranked.sort(key=lambda row: (-row["busy_fraction"], row["component"]))
+    if top is not None:
+        ranked = ranked[:top]
+    return ranked
+
+
+def render_bottlenecks(ranked):
+    """Aligned text table for a :func:`bottlenecks` result."""
+    if not ranked:
+        return "(no component activity recorded)"
+    rows = [
+        {
+            "component": row["component"],
+            "busy%": 100.0 * row["busy_fraction"],
+            "events": row["events"],
+            "per-cycle cap": row["capacity"],
+        }
+        for row in ranked
+    ]
+    return format_table(["component", "busy%", "events", "per-cycle cap"],
+                        rows)

@@ -30,6 +30,14 @@ class _MemoryEndpoint(Component):
         self._due = []  # heap of (ready_cycle, seq, request)
         self._retry = deque()  # responses blocked on a full reply FIFO
         self._seq = 0
+        # Typed metric handles (see repro.obs.metrics); counters write
+        # through to `stats` under the exact legacy names.
+        registry = stats.registry
+        self._m_reads = registry.counter(name + ".reads")
+        self._m_read_words = registry.counter(name + ".read_words")
+        self._m_writes = registry.counter(name + ".writes")
+        self._m_write_words = registry.counter(name + ".write_words")
+        self._m_busy_cycles = registry.counter(name + ".busy_cycles")
 
     def _schedule(self, request, ready_cycle):
         heapq.heappush(self._due, (ready_cycle, self._seq, request))
@@ -49,15 +57,15 @@ class _MemoryEndpoint(Component):
 
     def _apply(self, request):
         if request.op == OP_READ:
-            self.stats.add(self.name + ".reads")
-            self.stats.add(self.name + ".read_words", request.words)
+            self._m_reads.inc()
+            self._m_read_words.inc(request.words)
             if request.words == 1:
                 value = self.memory.read_word(request.addr)
             else:
                 value = self.memory.read_line(request.addr, request.words)
         elif request.op == OP_WRITE:
-            self.stats.add(self.name + ".writes")
-            self.stats.add(self.name + ".write_words", request.words)
+            self._m_writes.inc()
+            self._m_write_words.inc(request.words)
             if request.words == 1:
                 self.memory.write_word(request.addr, request.value)
             else:
@@ -121,6 +129,10 @@ class DRAMSystem(_MemoryEndpoint):
         self.hit_latency = config.dram_row_hit_latency
         self.miss_latency = config.dram_row_miss_latency
         self.frfcfs = config.dram_scheduling == "frfcfs"
+        registry = stats.registry
+        self._m_sched_reorders = registry.counter(name + ".sched_reorders")
+        self._m_row_hits = registry.counter(name + ".row_hits")
+        self._m_row_misses = registry.counter(name + ".row_misses")
         self.req_in = sim.fifo(capacity=4 * self.channels, name=name + ".req_in")
         self._channel_queues = [deque() for _ in range(self.channels)]
         self._channel_free_at = [0] * self.channels
@@ -143,8 +155,7 @@ class DRAMSystem(_MemoryEndpoint):
             if queue[position].addr // self.row_words == open_row:
                 request = queue[position]
                 del queue[position]
-                self.stats.add(self.name + ".sched_reorders",
-                               1 if position else 0)
+                self._m_sched_reorders.inc(1 if position else 0)
                 return request
         return queue.popleft()
 
@@ -153,10 +164,10 @@ class DRAMSystem(_MemoryEndpoint):
             return self.latency
         row = request.addr // self.row_words
         if row == self._open_rows[channel]:
-            self.stats.add(self.name + ".row_hits")
+            self._m_row_hits.inc()
             return self.hit_latency
         self._open_rows[channel] = row
-        self.stats.add(self.name + ".row_misses")
+        self._m_row_misses.inc()
         return self.miss_latency
 
     def tick(self, now):
@@ -185,7 +196,7 @@ class DRAMSystem(_MemoryEndpoint):
                 occupied += access - self.hit_latency
             self._channel_free_at[channel] = now + occupied
             self._schedule(request, now + transfer + access)
-            self.stats.add(self.name + ".busy_cycles", occupied)
+            self._m_busy_cycles.inc(occupied)
 
     def next_wake(self, now):
         if self._retry or self.req_in.occupancy:
@@ -205,6 +216,15 @@ class DRAMSystem(_MemoryEndpoint):
     @property
     def busy(self):
         return super().busy or any(self._channel_queues)
+
+    def obs_probes(self):
+        return (
+            ("queued", lambda now: self.req_in.occupancy + sum(
+                len(queue) for queue in self._channel_queues)),
+            ("busy_channels", lambda now: sum(
+                1 for free_at in self._channel_free_at if free_at > now)),
+            ("inflight", lambda now: len(self._due)),
+        )
 
 
 class UniformMemory(_MemoryEndpoint):
@@ -231,7 +251,7 @@ class UniformMemory(_MemoryEndpoint):
             transfer = request.words * self.interval
             self._free_at = now + transfer
             self._schedule(request, now + transfer + self.latency)
-            self.stats.add(self.name + ".busy_cycles", transfer)
+            self._m_busy_cycles.inc(transfer)
 
     def next_wake(self, now):
         if self._retry:
@@ -244,3 +264,10 @@ class UniformMemory(_MemoryEndpoint):
         if wake is not None and wake <= now:
             wake = now + 1
         return wake
+
+    def obs_probes(self):
+        return (
+            ("queued", lambda now: self.req_in.occupancy),
+            ("port_busy", lambda now: 1 if self._free_at > now else 0),
+            ("inflight", lambda now: len(self._due)),
+        )

@@ -39,6 +39,13 @@ class NodeInterface(Component):
         self.cache_combining = config.cache_combining
         self.hierarchical = config.hierarchical_combining
         self.width = config.cache_words_per_cycle
+        # Typed metric handles (see repro.obs.metrics).
+        registry = stats.registry
+        self._m_sumbacks = registry.counter(self.name + ".sumbacks")
+        self._m_tree_hops = registry.counter(self.name + ".tree_hops")
+        self._m_local_refs = registry.counter(self.name + ".local_refs")
+        self._m_combined_refs = registry.counter(self.name + ".combined_refs")
+        self._m_remote_refs = registry.counter(self.name + ".remote_refs")
         # Sources filled by the node's AGUs; set by the system.
         self.sources = []
         #: Feeds the node's local memory-system router.
@@ -72,7 +79,7 @@ class NodeInterface(Component):
             if not self.local_out.can_push():
                 return False
             self.local_out.push(MemoryRequest(OP_SCATTER_ADD, addr, value))
-            self.stats.add(self.name + ".sumbacks")
+            self._m_sumbacks.inc()
             return True
         if not self.net_out.can_push():
             return False
@@ -83,11 +90,11 @@ class NodeInterface(Component):
             else:
                 request = MemoryRequest(OP_SCATTER_ADD, addr, value,
                                         combining=True, route_to=next_hop)
-                self.stats.add(self.name + ".tree_hops")
+                self._m_tree_hops.inc()
         else:
             request = MemoryRequest(OP_SCATTER_ADD, addr, value)
         self.net_out.push(request)
-        self.stats.add(self.name + ".sumbacks")
+        self._m_sumbacks.inc()
         return True
 
     def tick(self, now):
@@ -100,7 +107,7 @@ class NodeInterface(Component):
                     if not self.local_out.can_push():
                         break
                     self.local_out.push(source.pop())
-                    self.stats.add(self.name + ".local_refs")
+                    self._m_local_refs.inc()
                 elif (self.cache_combining and request.is_atomic
                       and request.op != OP_FETCH_ADD):
                     # Combine remotely-homed updates in the local cache.
@@ -112,12 +119,12 @@ class NodeInterface(Component):
                     request = source.pop()
                     request.combining = True
                     self.local_out.push(request)
-                    self.stats.add(self.name + ".combined_refs")
+                    self._m_combined_refs.inc()
                 else:
                     if not self.net_out.can_push():
                         break
                     self.net_out.push(source.pop())
-                    self.stats.add(self.name + ".remote_refs")
+                    self._m_remote_refs.inc()
                 moved += 1
 
     def next_wake(self, now):
@@ -129,3 +136,9 @@ class NodeInterface(Component):
     @property
     def busy(self):
         return False  # FIFOs carry all pending state
+
+    def obs_probes(self):
+        return (
+            ("queued", lambda now: sum(
+                source.occupancy for source in self.sources)),
+        )

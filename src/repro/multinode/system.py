@@ -25,6 +25,7 @@ from repro.node.agu import AddressGeneratorUnit
 from repro.node.memsys import MemorySystem
 from repro.node.program import ScatterAdd
 from repro.memory.backing import MainMemory
+from repro.obs import session as obs_session
 from repro.sim.engine import Simulator
 from repro.sim.stats import Stats
 
@@ -64,12 +65,21 @@ class MultiNodeRun:
 class MultiNodeSystem:
     """N stream-processor nodes, a crossbar, and block-partitioned memory."""
 
-    def __init__(self, config, address_space):
+    def __init__(self, config, address_space, obs=None):
         if config.nodes < 1:
             raise ValueError("need at least one node")
         self.config = config
         self.sim = Simulator()
         self.stats = Stats()
+        observation = obs if obs is not None else obs_session.active()
+        self.obs_scope = None
+        trace = None
+        if observation is not None:
+            self.obs_scope = observation.attach(
+                self.sim, self.stats,
+                label="multinode%d" % config.nodes, config=config)
+            if observation.trace_enabled:
+                trace = self.obs_scope.tracelog
         self.memory = MainMemory()
         line = config.cache_line_words
         per_node = int(math.ceil(address_space / config.nodes / line)) * line
@@ -109,6 +119,7 @@ class MultiNodeSystem:
                 memory=self.memory,
                 sumback_sink=interface.send_sumback,
                 name="node%d" % node,
+                trace=trace,
             )
             self.memsystems.append(memsys)
 
@@ -122,6 +133,8 @@ class MultiNodeSystem:
                 sources=[agu.out for agu in self.agus[node]],
                 net_out=self.crossbar.inputs[node],
             )
+        if self.obs_scope is not None:
+            self.obs_scope.install_sampler()
 
     # ------------------------------------------------------------------ #
     def load_array(self, base, array):
@@ -160,16 +173,23 @@ class MultiNodeSystem:
                 )
                 agu.start(op)
         self.sim.run()
+        if self.obs_scope is not None:
+            self.obs_scope.span("scatter_add", start_cycle,
+                                self.sim.cycle - start_cycle)
         if self.config.cache_combining:
             # Flush-with-sum-back synchronisation step (Section 3.2).
             # Hierarchical combining deposits partial sums at intermediate
             # tree nodes, so flushing repeats until no dirty combining
             # delta remains anywhere (at most ~log2(N) waves).
             for _ in range(2 * self.config.nodes + 2):
+                wave_start = self.sim.cycle
                 for memsys in self.memsystems:
                     for bank in memsys.banks:
                         bank.request_flush()
                 self.sim.run()
+                if self.obs_scope is not None:
+                    self.obs_scope.span("flush_wave", wave_start,
+                                        self.sim.cycle - wave_start)
                 if not any(bank.has_combining_state
                            for memsys in self.memsystems
                            for bank in memsys.banks):

@@ -32,6 +32,16 @@ class Crossbar(Component):
             sim.fifo(capacity=4 * bw_words, name="%s.in%d" % (name, port))
             for port in range(nodes)
         ]
+        # Typed metric handles (see repro.obs.metrics).  Per-destination
+        # counters are pre-created so the arbitration loop never formats a
+        # counter name per word.
+        registry = stats.registry
+        self._m_hol_blocks = registry.counter(name + ".hol_blocks")
+        self._m_words = registry.counter(name + ".words")
+        self._m_words_to = [
+            registry.counter("%s.words_to%d" % (name, dest))
+            for dest in range(nodes)
+        ]
         self._pipes = [
             sim.pipe(HOP_LATENCY, name="%s.pipe%d" % (name, port))
             for port in range(nodes)
@@ -61,13 +71,13 @@ class Crossbar(Component):
                 else:
                     dest = self.dest_of(request.addr)
                 if out_budget[dest] <= 0 or not self._pipes[dest].can_push():
-                    self.stats.add(self.name + ".hol_blocks")
+                    self._m_hol_blocks.inc()
                     break  # head-of-line blocking
                 self._pipes[dest].push(source.pop(), now)
                 out_budget[dest] -= 1
                 injected += 1
-                self.stats.add(self.name + ".words")
-                self.stats.add("%s.words_to%d" % (self.name, dest))
+                self._m_words.inc()
+                self._m_words_to[dest].inc()
 
     def next_wake(self, now):
         # Stay awake while any input holds requests: the per-tick
@@ -90,3 +100,11 @@ class Crossbar(Component):
     @property
     def busy(self):
         return False  # FIFOs and pipes carry all pending state
+
+    def obs_probes(self):
+        return (
+            ("queued_words", lambda now: sum(
+                source.occupancy for source in self.inputs)),
+            ("inflight_words", lambda now: sum(
+                len(pipe) for pipe in self._pipes)),
+        )

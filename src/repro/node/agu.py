@@ -85,6 +85,11 @@ class AddressGeneratorUnit(Component):
         super().__init__(name)
         self.stats = stats
         self.width = config.agu_words_per_cycle
+        # Typed metric handles (see repro.obs.metrics): one per-AGU refs
+        # counter plus the shared memory-system total.
+        registry = stats.registry
+        self._m_refs = registry.counter(name + ".refs")
+        self._m_memsys_refs = registry.counter("memsys.refs")
         self.out = sim.fifo(capacity=2 * self.width, name=name + ".out")
         self.ack_in = sim.fifo(capacity=None, name=name + ".ack_in")
         self._queue = deque()
@@ -131,8 +136,8 @@ class AddressGeneratorUnit(Component):
             self._next_index += 1
             issued += 1
         if issued:
-            self.stats.add(self.name + ".refs", issued)
-            self.stats.add("memsys.refs", issued)
+            self._m_refs.inc(issued)
+            self._m_memsys_refs.inc(issued)
         if self._next_index >= total and self._acked >= total:
             op.done = True
             op.end_cycle = now
@@ -160,3 +165,11 @@ class AddressGeneratorUnit(Component):
     @property
     def busy(self):
         return self._current is not None or bool(self._queue)
+
+    def obs_probes(self):
+        return (
+            ("active", lambda now: 0 if self._current is None else 1),
+            ("queued_ops", lambda now: len(self._queue)),
+            ("unacked", lambda now: 0 if self._current is None
+             else self._next_index - self._acked),
+        )

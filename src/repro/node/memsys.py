@@ -24,7 +24,8 @@ class MemorySystem:
     """One node's scatter-add units, cache banks and DRAM."""
 
     def __init__(self, sim, config, stats, sources, memory=None,
-                 chaining=True, sumback_sink=None, name="memsys"):
+                 chaining=True, sumback_sink=None, name="memsys",
+                 trace=None):
         self.config = config
         self.stats = stats
         self.memory = memory if memory is not None else MainMemory()
@@ -46,7 +47,7 @@ class MemorySystem:
                     unit = ScatterAddUnit(
                         sim, config, stats, bank.req_in,
                         name="%s.sau%d_%d" % (name, bank_idx, sub),
-                        chaining=chaining,
+                        chaining=chaining, trace=trace,
                     )
                     self.units.append(unit)
                     sim.register(unit)
@@ -64,7 +65,8 @@ class MemorySystem:
             self.dram = UniformMemory(sim, config, self.memory, stats,
                                       name=name + ".mem")
             unit = ScatterAddUnit(sim, config, stats, self.dram.req_in,
-                                  name=name + ".sau0", chaining=chaining)
+                                  name=name + ".sau0", chaining=chaining,
+                                  trace=trace)
             self.units.append(unit)
             sim.register(unit)
             targets = [unit.req_in]

@@ -12,6 +12,7 @@ from repro.node.agu import AddressGeneratorUnit
 from repro.node.cluster import ClusterArray
 from repro.node.memsys import MemorySystem
 from repro.node.program import StreamProgram
+from repro.obs import session as obs_session
 from repro.sim.engine import Simulator
 from repro.sim.stats import Stats
 
@@ -48,10 +49,20 @@ class ProgramResult:
 class StreamProcessor:
     """One simulated node executing stream programs."""
 
-    def __init__(self, config, chaining=True, memory=None):
+    def __init__(self, config, chaining=True, memory=None, obs=None):
         self.config = config
         self.sim = Simulator()
         self.stats = Stats()
+        # Attach to an explicit observation, or the ambient one installed
+        # by ``repro.obs.observe`` (None -> no instrumentation overhead).
+        observation = obs if obs is not None else obs_session.active()
+        self.obs_scope = None
+        trace = None
+        if observation is not None:
+            self.obs_scope = observation.attach(
+                self.sim, self.stats, label="node", config=config)
+            if observation.trace_enabled:
+                trace = self.obs_scope.tracelog
         self.agus = [
             self.sim.register(
                 AddressGeneratorUnit(self.sim, config, self.stats,
@@ -62,9 +73,11 @@ class StreamProcessor:
         self.memsys = MemorySystem(
             self.sim, config, self.stats,
             sources=[agu.out for agu in self.agus],
-            memory=memory, chaining=chaining,
+            memory=memory, chaining=chaining, trace=trace,
         )
         self.clusters = ClusterArray(config, self.stats)
+        if self.obs_scope is not None:
+            self.obs_scope.install_sampler()
 
     # ------------------------------------------------------------------ #
     def load_array(self, base, array):
@@ -81,7 +94,8 @@ class StreamProcessor:
         if not isinstance(program, StreamProgram):
             program = StreamProgram(program)
         phase_cycles = []
-        for phase in program:
+        for index, phase in enumerate(program):
+            phase_start = self.sim.cycle
             mem_cycles = self._run_mem_phase(phase.mem_ops)
             kernel_cycles = sum(
                 self.clusters.kernel_cycles(kernel) for kernel in phase.kernels
@@ -89,8 +103,16 @@ class StreamProcessor:
             bulk_cycles = sum(
                 self.clusters.bulk_cycles(bulk) for bulk in phase.bulk_ops
             )
-            phase_cycles.append(max(mem_cycles, kernel_cycles, bulk_cycles))
+            duration = max(mem_cycles, kernel_cycles, bulk_cycles)
+            phase_cycles.append(duration)
+            if self.obs_scope is not None:
+                self.obs_scope.span(phase.name or ("phase%d" % index),
+                                    phase_start, duration)
         total = sum(phase_cycles)
+        if self.obs_scope is not None:
+            # Report measured cycles (engine time plus launch overheads),
+            # matching the number every ProgramResult consumer sees.
+            self.obs_scope._cycles = (self.obs_scope._cycles or 0) + total
         return ProgramResult(self.config, total, self.stats, phase_cycles)
 
     def _run_mem_phase(self, mem_ops):

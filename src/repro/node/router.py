@@ -29,6 +29,8 @@ class Router(Component):
         self.targets = list(targets)
         self.target_of = target_of
         self.width = width if width is not None else config.cache_words_per_cycle
+        # Typed metric handle (see repro.obs.metrics).
+        self._m_hol_blocks = stats.registry.counter(name + ".hol_blocks")
         self._last_tick = -1
         self._moved = 0  # moves made by the most recent tick
         self._sleep_blocked = 0  # blocked sources at the end of that tick
@@ -39,8 +41,8 @@ class Router(Component):
         if self._sleep_blocked and now - self._last_tick > 1:
             # Every slept cycle would have re-observed the same blocked
             # heads (state frozen while asleep); charge them now.
-            self.stats.add(self.name + ".hol_blocks",
-                           self._sleep_blocked * (now - self._last_tick - 1))
+            self._m_hol_blocks.inc(
+                self._sleep_blocked * (now - self._last_tick - 1))
         self._last_tick = now
         moved = 0
         blocked = 0
@@ -55,7 +57,7 @@ class Router(Component):
                 request = source.peek()
                 target = self.targets[self.target_of(request.addr)]
                 if not target.can_push():
-                    self.stats.add(self.name + ".hol_blocks")
+                    self._m_hol_blocks.inc()
                     blocked += 1
                     break
                 target.push(source.pop())
@@ -75,3 +77,10 @@ class Router(Component):
     @property
     def busy(self):
         return False  # holds no state; FIFOs carry all pending work
+
+    def obs_probes(self):
+        return (
+            ("queued", lambda now: sum(
+                source.occupancy for source in self.sources)),
+            ("moved_last_tick", lambda now: self._moved),
+        )

@@ -1,0 +1,51 @@
+"""``repro.obs`` -- the observability subsystem.
+
+Structured measurement for the simulator, layered on the event engine:
+
+- :mod:`~repro.obs.metrics` -- typed :class:`MetricRegistry` (counters,
+  gauges, fixed-bucket histograms) backing the flat ``Stats`` bag;
+- :mod:`~repro.obs.sampling` -- cycle-window :class:`TimelineSampler`
+  producing per-component occupancy/utilization timelines;
+- :mod:`~repro.obs.session` -- :func:`observe` context manager and
+  :class:`Observation` scopes that attach all of the above to running
+  simulators;
+- :mod:`~repro.obs.export` -- Chrome-trace and ``metrics.json`` exporters
+  plus their validators (the CI artifact gate,
+  ``python -m repro.obs.validate``).
+
+See the "Observability" section of ``docs/ARCHITECTURE.md``.
+"""
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    chrome_trace_events,
+    metrics_payload,
+    validate_chrome_trace,
+    validate_metrics,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.sampling import Timeline, TimelineSampler, gather_probes
+from repro.obs.session import Observation, ObservationScope, active, observe
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricRegistry",
+    "Observation",
+    "ObservationScope",
+    "Timeline",
+    "TimelineSampler",
+    "active",
+    "chrome_trace_events",
+    "gather_probes",
+    "metrics_payload",
+    "observe",
+    "validate_chrome_trace",
+    "validate_metrics",
+    "write_chrome_trace",
+    "write_metrics",
+]

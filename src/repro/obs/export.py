@@ -1,0 +1,198 @@
+"""Exporters: Chrome ``chrome://tracing`` traces and ``metrics.json``.
+
+Two machine-readable artifacts per observed run:
+
+- **Chrome trace** (``*.trace.json``): a ``{"traceEvents": [...]}`` object
+  in the Trace Event Format that loads directly into ``chrome://tracing``
+  or Perfetto.  Each observation scope becomes one *process* (``pid``),
+  each simulated component one *thread* (``tid``, named via ``M`` metadata
+  events).  Stream-program phases export as complete spans (``ph: "X"``),
+  :class:`~repro.sim.trace.TraceLog` events as instants (``ph: "i"``) and
+  sampled timelines as counter tracks (``ph: "C"``).  Timestamps are
+  simulated cycles (one trace microsecond per cycle).
+- **metrics.json**: the registry snapshot (counters, gauges, histograms),
+  sampled timelines and the bottleneck ranking, per scope.
+
+Both formats ship a validator used by tests and the CI artifact gate.
+"""
+
+import json
+
+#: Schema tag written into (and required from) every metrics.json.
+METRICS_SCHEMA = "repro.metrics/1"
+
+#: Chrome trace event phases this exporter emits.
+_PHASES = ("X", "i", "C", "M")
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace
+# --------------------------------------------------------------------- #
+def chrome_trace_events(observation):
+    """Flatten an observation into a list of Chrome trace events."""
+    events = []
+    for scope in observation.scopes:
+        pid = scope.pid
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": scope.label},
+        })
+        tids = {}
+
+        def tid_of(component, _tids=tids, _events=events, _pid=pid):
+            tid = _tids.get(component)
+            if tid is None:
+                tid = len(_tids) + 1  # tid 0 is the phase/counter track
+                _tids[component] = tid
+                _events.append({
+                    "ph": "M", "name": "thread_name", "pid": _pid,
+                    "tid": tid, "ts": 0, "args": {"name": component},
+                })
+            return tid
+
+        for span in scope.spans:
+            events.append({
+                "ph": "X", "name": span.name, "cat": "phase",
+                "ts": span.start, "dur": max(span.duration, 1),
+                "pid": pid, "tid": 0,
+            })
+        for event in scope.tracelog.events:
+            events.append({
+                "ph": "i", "name": event.kind, "cat": "event", "s": "t",
+                "ts": event.cycle, "pid": pid,
+                "tid": tid_of(event.component),
+                "args": dict(event.fields),
+            })
+        for timeline in scope.timelines:
+            for cycle, value in zip(timeline.cycles, timeline.values):
+                events.append({
+                    "ph": "C", "name": timeline.name, "cat": "sample",
+                    "ts": cycle, "pid": pid, "tid": 0,
+                    "args": {"value": value},
+                })
+    return events
+
+
+def write_chrome_trace(path, observation):
+    """Write the observation as a Chrome trace file; returns the payload."""
+    payload = {"traceEvents": chrome_trace_events(observation)}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload):
+    """Raise ``ValueError`` unless `payload` is a loadable Chrome trace.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the bare
+    event array, the two shapes ``chrome://tracing`` loads.
+    """
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("trace object lacks a 'traceEvents' array")
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        raise ValueError("trace must be an object or an event array, got %s"
+                         % type(payload).__name__)
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError("trace event %d is not an object" % index)
+        for field in ("ph", "ts", "pid"):
+            if field not in event:
+                raise ValueError("trace event %d lacks required field %r"
+                                 % (index, field))
+        if event["ph"] not in _PHASES:
+            raise ValueError("trace event %d has unknown phase %r"
+                             % (index, event["ph"]))
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError("trace event %d has non-numeric ts" % index)
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError("complete event %d lacks 'dur'" % index)
+    return events
+
+
+# --------------------------------------------------------------------- #
+# metrics.json
+# --------------------------------------------------------------------- #
+def metrics_payload(observation):
+    """Build the ``metrics.json`` payload for an observation."""
+    from repro.harness.report import bottlenecks
+
+    scopes = []
+    for scope in observation.scopes:
+        registry = scope.stats.registry
+        entry = {
+            "label": scope.label,
+            "cycles": scope.cycles,
+            "counters": scope.stats.as_dict(),
+            "gauges": registry.snapshot()["gauges"],
+            "histograms": registry.snapshot()["histograms"],
+            "timelines": {timeline.name: timeline.as_dict()
+                          for timeline in scope.timelines},
+            "bottlenecks": bottlenecks(scope.stats, scope.cycles,
+                                       config=scope.config),
+        }
+        scopes.append(entry)
+    return {
+        "schema": METRICS_SCHEMA,
+        "sample_every": observation.sample_every,
+        "scopes": scopes,
+    }
+
+
+def write_metrics(path, observation):
+    """Write ``metrics.json`` for the observation; returns the payload."""
+    payload = metrics_payload(observation)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def validate_metrics(payload):
+    """Raise ``ValueError`` unless `payload` is a well-formed metrics dump."""
+    if not isinstance(payload, dict):
+        raise ValueError("metrics payload must be an object")
+    if payload.get("schema") != METRICS_SCHEMA:
+        raise ValueError("metrics schema %r != expected %r"
+                         % (payload.get("schema"), METRICS_SCHEMA))
+    scopes = payload.get("scopes")
+    if not isinstance(scopes, list):
+        raise ValueError("metrics payload lacks a 'scopes' array")
+    for index, scope in enumerate(scopes):
+        counters = scope.get("counters")
+        if not isinstance(counters, dict):
+            raise ValueError("scope %d lacks a counters object" % index)
+        for name, value in counters.items():
+            if not isinstance(value, (int, float)):
+                raise ValueError("scope %d counter %r is not numeric"
+                                 % (index, name))
+        for name, histogram in scope.get("histograms", {}).items():
+            edges = histogram.get("edges", [])
+            counts = histogram.get("counts", [])
+            if len(counts) != len(edges) + 1:
+                raise ValueError(
+                    "scope %d histogram %r: %d counts for %d edges "
+                    "(want edges + 1 overflow bucket)"
+                    % (index, name, len(counts), len(edges))
+                )
+        for name, timeline in scope.get("timelines", {}).items():
+            if len(timeline.get("cycles", [])) != len(
+                    timeline.get("values", ())):
+                raise ValueError("scope %d timeline %r: cycle/value arrays "
+                                 "differ in length" % (index, name))
+    return payload
+
+
+def validate_file(path):
+    """Validate a ``*.trace.json`` or ``metrics.json`` file by content."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and payload.get("schema") == METRICS_SCHEMA:
+        validate_metrics(payload)
+        return "metrics"
+    validate_chrome_trace(payload)
+    return "trace"

@@ -1,0 +1,207 @@
+"""Typed metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricRegistry` is the observability subsystem's front door.  It
+hands out *typed handles* that components create once (at construction)
+and update on the hot path, replacing ad-hoc ``stats.add("name")`` calls:
+
+- :class:`Counter` -- monotonically increasing event count.  Counters
+  write through to the backing :class:`~repro.sim.stats.Stats` counter of
+  the same name, so ``Stats.as_dict()`` output is bit-identical to the
+  pre-registry era and every existing consumer (reports, golden tests,
+  scheduler-equivalence suite) keeps working unchanged.
+- :class:`Gauge` -- a point-in-time value (peak occupancy, capacity).
+  Gauges live in the registry only; they are exported via
+  ``metrics.json`` without perturbing the flat counter bag.
+- :class:`Histogram` -- a distribution over *fixed* bucket edges chosen at
+  creation time (e.g. combining-store occupancy at each atomic accept).
+  Buckets use less-or-equal semantics: ``counts[i]`` counts observations
+  ``<= edges[i]``; the final bucket is the ``+inf`` overflow.
+
+Handles are memoized by name: asking twice returns the same object, and a
+histogram re-requested with different edges is a programming error.
+"""
+
+from bisect import bisect_left
+
+
+class Counter:
+    """Monotonic event counter writing through to a shared ``Stats`` bag."""
+
+    __slots__ = ("name", "_counters")
+
+    def __init__(self, name, counters):
+        self.name = name
+        self._counters = counters
+
+    def inc(self, amount=1):
+        """Increment by `amount` (1 if omitted)."""
+        self._counters[self.name] += amount
+
+    @property
+    def value(self):
+        return self._counters.get(self.name, 0)
+
+    def __repr__(self):
+        return "Counter(%r, %s)" % (self.name, self.value)
+
+
+class Gauge:
+    """A point-in-time value; registry-only (not mirrored into ``Stats``)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def maximum(self, value):
+        """Keep the running maximum of all `value`s seen."""
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self):
+        return "Gauge(%r, %s)" % (self.name, self.value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with less-or-equal bucket semantics."""
+
+    __slots__ = ("name", "edges", "counts", "total", "sum")
+
+    def __init__(self, name, edges):
+        edges = tuple(edges)
+        if not edges:
+            raise ValueError("histogram %r needs at least one bucket edge"
+                             % (name,))
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("histogram %r edges must strictly increase: %r"
+                             % (name, edges))
+        self.name = name
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)  # last bucket = overflow
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value, n=1):
+        """Record `value` occurring `n` times."""
+        self.counts[bisect_left(self.edges, value)] += n
+        self.total += n
+        self.sum += value * n
+
+    @property
+    def mean(self):
+        return self.sum / self.total if self.total else 0.0
+
+    def merge(self, other):
+        """Accumulate another histogram with identical edges."""
+        if other.edges != self.edges:
+            raise ValueError(
+                "cannot merge histogram %r: edges %r != %r"
+                % (self.name, other.edges, self.edges)
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum += other.sum
+
+    def as_dict(self):
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    def __repr__(self):
+        return "Histogram(%r, %d observations)" % (self.name, self.total)
+
+
+class MetricRegistry:
+    """Factory and directory of typed metric handles.
+
+    Backed by a :class:`~repro.sim.stats.Stats` object: counters write
+    straight into its flat bag (names and values identical to the former
+    raw ``stats.add`` calls); gauges and histograms are registry-only.
+    """
+
+    def __init__(self, stats):
+        self._stats = stats
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    def counter(self, name):
+        """Get (or create) the counter called `name`."""
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = Counter(name, self._stats._counters)
+            self._counters[name] = handle
+        return handle
+
+    def gauge(self, name):
+        """Get (or create) the gauge called `name`."""
+        handle = self._gauges.get(name)
+        if handle is None:
+            handle = Gauge(name)
+            self._gauges[name] = handle
+        return handle
+
+    def histogram(self, name, edges=None):
+        """Get (or create) the histogram called `name` with fixed `edges`."""
+        handle = self._histograms.get(name)
+        if handle is None:
+            if edges is None:
+                raise ValueError("histogram %r does not exist yet; edges "
+                                 "are required to create it" % (name,))
+            handle = Histogram(name, edges)
+            self._histograms[name] = handle
+        elif edges is not None and tuple(edges) != handle.edges:
+            raise ValueError(
+                "histogram %r already exists with edges %r (requested %r)"
+                % (name, handle.edges, tuple(edges))
+            )
+        return handle
+
+    # ------------------------------------------------------------------ #
+    def counter_names(self):
+        return sorted(self._counters)
+
+    def merge(self, other):
+        """Fold another registry's gauges/histograms into this one.
+
+        Counter *values* travel with the shared ``Stats`` bag
+        (``Stats.merge``); this merges the typed-metric side so sweep
+        aggregation keeps distributions too.  Gauges keep the maximum.
+        """
+        for name, gauge in other._gauges.items():
+            self.gauge(name).maximum(gauge.value)
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self.histogram(name, histogram.edges).merge(histogram)
+            else:
+                mine.merge(histogram)
+        for name in other._counters:
+            self.counter(name)
+        return self
+
+    def snapshot(self):
+        """Plain-dict export for ``metrics.json``."""
+        return {
+            "counters": {
+                name: self._stats._counters.get(name, 0)
+                for name in self._counters
+            },
+            "gauges": {name: gauge.value
+                       for name, gauge in self._gauges.items()},
+            "histograms": {name: histogram.as_dict()
+                           for name, histogram in self._histograms.items()},
+        }
+
+    def __repr__(self):
+        return "MetricRegistry(%d counters, %d gauges, %d histograms)" % (
+            len(self._counters), len(self._gauges), len(self._histograms),
+        )

@@ -1,0 +1,36 @@
+"""CI gate: validate emitted observability artifacts.
+
+Usage::
+
+    python -m repro.obs.validate results/metrics.json results/out.trace.json
+
+Exits non-zero (with a reason on stderr) if any named file is missing or
+fails its schema check; prints one confirmation line per valid file.
+File type (metrics vs trace) is detected from content, not filename.
+"""
+
+import sys
+
+from repro.obs.export import validate_file
+
+
+def main(argv=None):
+    paths = sys.argv[1:] if argv is None else list(argv)
+    if not paths:
+        print("usage: python -m repro.obs.validate FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            kind = validate_file(path)
+        except (OSError, ValueError) as error:
+            print("INVALID %s: %s" % (path, error), file=sys.stderr)
+            status = 1
+        else:
+            print("ok %s (%s)" % (path, kind))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

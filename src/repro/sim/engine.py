@@ -132,6 +132,17 @@ class Component:
         for channel in channels:
             channel._writers.append(self)
 
+    def obs_probes(self):
+        """Sampling probes for the observability timeline sampler.
+
+        Returns an iterable of ``(suffix, fn)`` pairs where ``fn(now)``
+        reads one instantaneous occupancy/utilization value.  Probes are
+        only called at sampling-window boundaries while an observation
+        with ``sample_every`` is attached, so they may be arbitrarily
+        informative without taxing the hot path.
+        """
+        return ()
+
     def __repr__(self):
         return "%s(%r)" % (type(self).__name__, self.name)
 

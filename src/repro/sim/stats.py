@@ -5,6 +5,12 @@ increment named counters (``stats.add("dram.reads")``).  Counters are plain
 integers/floats grouped by dotted names, with helpers for merging and
 pretty-printing, which the experiment harness uses to report the paper's
 "FP Operations" and "Mem References" bars (Figures 9 and 10).
+
+The typed-metric layer (:mod:`repro.obs.metrics`) sits on top: components
+obtain handles from :attr:`Stats.registry` once at construction and bump
+them on the hot path.  Counter handles write through to this same flat
+bag, so :meth:`as_dict` output is identical to the pre-registry era;
+gauges and histograms live only in the registry.
 """
 
 from collections import defaultdict
@@ -15,6 +21,16 @@ class Stats:
 
     def __init__(self):
         self._counters = defaultdict(float)
+        self._registry = None
+
+    @property
+    def registry(self):
+        """The typed-metric registry backed by this bag (lazily created)."""
+        if self._registry is None:
+            from repro.obs.metrics import MetricRegistry
+
+            self._registry = MetricRegistry(self)
+        return self._registry
 
     def add(self, name, amount=1):
         """Increment counter `name` by `amount`."""
@@ -68,9 +84,16 @@ class Stats:
         return self
 
     def merge(self, other):
-        """Add every counter from `other` into this object."""
+        """Add every counter from `other` into this object.
+
+        Typed gauges/histograms travel too when `other` carries a registry
+        (counter handles need nothing extra: their values live in the flat
+        bag merged above).
+        """
         for name, value in other._counters.items():
             self._counters[name] += value
+        if other._registry is not None:
+            self.registry.merge(other._registry)
         return self
 
     def as_dict(self):

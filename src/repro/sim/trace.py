@@ -33,11 +33,18 @@ class TraceEvent:
 
 
 class TraceLog:
-    """A bounded in-memory log of simulation events."""
+    """A bounded in-memory log of simulation events.
 
-    def __init__(self, enabled=False, capacity=100_000):
+    Events past `capacity` are dropped (never silently: the drop count is
+    kept on :attr:`dropped`, mirrored to the ``trace.dropped`` counter of
+    the `stats` bag when one is attached, and shown in the
+    :meth:`render` footer).
+    """
+
+    def __init__(self, enabled=False, capacity=100_000, stats=None):
         self.enabled = enabled
         self.capacity = capacity
+        self.stats = stats
         self.events = []
         self.dropped = 0
 
@@ -47,6 +54,8 @@ class TraceLog:
             return
         if len(self.events) >= self.capacity:
             self.dropped += 1
+            if self.stats is not None:
+                self.stats.add("trace.dropped")
             return
         self.events.append(TraceEvent(cycle, component, kind, fields))
 

@@ -1,0 +1,136 @@
+"""Tests for the unified ``Simulation`` front door and the legacy shims."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ScatterAddRun,
+    ScatterRun,
+    Simulation,
+    scatter_add_reference,
+    scatter_op_reference,
+    simulate_scatter_add,
+    simulate_scatter_op,
+)
+from repro.config import MachineConfig
+
+
+class TestSimulationRun:
+    def test_scatter_add_matches_reference(self, rng):
+        indices = rng.integers(0, 128, size=500)
+        values = rng.uniform(-1, 1, size=500)
+        run = Simulation().run("scatter_add", indices, values,
+                               num_targets=128)
+        expected = scatter_add_reference(np.zeros(128), indices, values)
+        assert np.array_equal(run.result, expected)
+        assert run.cycles > 0
+        assert run.mem_refs == 500
+        assert run.config is not None
+
+    def test_min_max_mul_with_initial(self, rng):
+        indices = rng.integers(0, 32, size=200)
+        values = rng.uniform(0.5, 2.0, size=200)
+        cases = {
+            "scatter_min": np.full(32, np.inf),
+            "scatter_max": np.zeros(32),
+            "scatter_mul": np.ones(32),
+        }
+        sim = Simulation()
+        for op, initial in cases.items():
+            run = sim.run(op, indices, values, num_targets=32,
+                          initial=initial)
+            expected = scatter_op_reference(op, initial, indices, values)
+            assert np.allclose(run.result, expected, rtol=1e-12), op
+
+    def test_fetch_add_supported(self):
+        run = Simulation().run("fetch_add", [0, 0, 1], [1.0, 2.0, 3.0],
+                               num_targets=2)
+        assert list(run.result) == [3.0, 3.0]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation().run("scatter_xor", [0], [1.0], num_targets=1)
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(IndexError):
+            Simulation().run("scatter_add", [0, 5], 1.0, num_targets=4)
+        with pytest.raises(IndexError):
+            Simulation().run("scatter_add", [-1], 1.0, num_targets=4)
+
+    def test_tuning_args_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            Simulation().run("scatter_add", [0], 1.0, 4)  # num_targets
+
+    def test_chaining_knob(self):
+        indices = [3] * 300
+        chained = Simulation(chaining=True).run("scatter_add", indices, 1.0,
+                                                num_targets=4)
+        unchained = Simulation(chaining=False).run("scatter_add", indices,
+                                                   1.0, num_targets=4)
+        assert np.array_equal(chained.result, unchained.result)
+        assert chained.cycles < unchained.cycles
+
+    def test_runs_are_independent(self, rng):
+        sim = Simulation()
+        indices = rng.integers(0, 64, size=200)
+        first = sim.run("scatter_add", indices, 1.0, num_targets=64)
+        second = sim.run("scatter_add", indices, 1.0, num_targets=64)
+        assert first.cycles == second.cycles
+        assert np.array_equal(first.result, second.result)
+        assert first.stats is not second.stats
+
+    def test_bottlenecks_on_run(self, rng):
+        indices = rng.integers(0, 256, size=800)
+        run = Simulation().run("scatter_add", indices, 1.0, num_targets=256)
+        ranked = run.bottlenecks(top=4)
+        assert len(ranked) == 4
+        assert {"component", "busy_fraction", "events",
+                "capacity"} <= set(ranked[0])
+
+
+class TestLegacyShims:
+    def test_simulate_scatter_add_warns_and_matches(self, rng):
+        indices = rng.integers(0, 64, size=300)
+        with pytest.warns(DeprecationWarning):
+            old = simulate_scatter_add(indices, 1.0, num_targets=64)
+        new = Simulation().run("scatter_add", indices, 1.0, num_targets=64)
+        assert old.cycles == new.cycles
+        assert np.array_equal(old.result, new.result)
+
+    def test_simulate_scatter_add_keeps_full_signature(self):
+        with pytest.warns(DeprecationWarning):
+            run = simulate_scatter_add(
+                [1, 1, 2], values=2.0, num_targets=4,
+                config=MachineConfig.table1(),
+                initial=np.ones(4), chaining=False, base=8,
+            )
+        assert list(run.result) == [1.0, 5.0, 3.0, 1.0]
+
+    def test_simulate_scatter_op_warns_and_rejects_fetch_add(self):
+        with pytest.warns(DeprecationWarning):
+            run = simulate_scatter_op("scatter_min", [0, 0], [2.0, 1.0],
+                                      num_targets=1,
+                                      initial=np.full(1, np.inf))
+        assert run.result[0] == 1.0
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                simulate_scatter_op("fetch_add", [0], [1.0], num_targets=1)
+
+    def test_scatter_add_run_alias(self):
+        assert ScatterAddRun is ScatterRun
+        run = Simulation().run("scatter_add", [0], 1.0, num_targets=1)
+        assert isinstance(run, ScatterAddRun)
+        assert "ScatterRun" in repr(run)
+
+
+class TestSharedValidation:
+    def test_scatter_op_reference_bounds_checked(self):
+        with pytest.raises(IndexError):
+            scatter_op_reference("scatter_min", np.zeros(4), [0, 4], [1.0,
+                                                                      1.0])
+        with pytest.raises(IndexError):
+            scatter_op_reference("scatter_mul", np.zeros(4), [-1], [1.0])
+
+    def test_scatter_add_reference_bounds_checked(self):
+        with pytest.raises(IndexError):
+            scatter_add_reference(np.zeros(4), [4], [1.0])

@@ -1,0 +1,140 @@
+"""Tests for the typed metric registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricRegistry
+from repro.sim.stats import Stats
+
+
+class TestCounter:
+    def test_writes_through_to_stats(self):
+        stats = Stats()
+        counter = stats.registry.counter("bank0.hits")
+        counter.inc()
+        counter.inc(3)
+        assert stats.get("bank0.hits") == 4.0
+        assert counter.value == 4.0
+
+    def test_shares_value_with_stats_add(self):
+        # Mixed use (legacy stats.add + typed handle) must agree: both
+        # write the same underlying cell.
+        stats = Stats()
+        counter = stats.registry.counter("dram.reads")
+        stats.add("dram.reads", 2)
+        counter.inc()
+        assert stats.get("dram.reads") == 3.0
+
+    def test_memoized_per_name(self):
+        stats = Stats()
+        assert stats.registry.counter("a") is stats.registry.counter("a")
+        assert stats.registry.counter("a") is not stats.registry.counter("b")
+
+    def test_zero_increment_materialises_key(self):
+        # stats.add(name, 0) creates the key; the handle must too (the
+        # DRAM scheduler counts "0 reorders" this way).
+        stats = Stats()
+        stats.registry.counter("dram.sched_reorders").inc(0)
+        assert "dram.sched_reorders" in stats.as_dict()
+
+
+class TestGauge:
+    def test_set_and_maximum(self):
+        stats = Stats()
+        gauge = stats.registry.gauge("store.peak")
+        gauge.set(3)
+        gauge.maximum(2)
+        assert gauge.value == 3
+        gauge.maximum(7)
+        assert gauge.value == 7
+
+    def test_does_not_touch_stats_bag(self):
+        stats = Stats()
+        stats.registry.gauge("store.peak").set(9)
+        assert "store.peak" not in stats.as_dict()
+
+
+class TestHistogram:
+    def test_bucket_edges_less_or_equal(self):
+        hist = Histogram("h", [1, 2, 4, 8])
+        for value in (1, 2, 2, 3, 8):
+            hist.observe(value)
+        # value <= edge lands in that bucket: 1 -> [<=1]; 2,2 -> [<=2];
+        # 3 -> [<=4]; 8 -> [<=8]; nothing overflows.
+        assert hist.counts == [1, 2, 1, 1, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", [1, 2])
+        hist.observe(3)
+        hist.observe(100)
+        assert hist.counts == [0, 0, 2]
+        assert len(hist.counts) == len(hist.edges) + 1
+
+    def test_below_first_edge(self):
+        hist = Histogram("h", [10, 20])
+        hist.observe(0)
+        hist.observe(-5)
+        assert hist.counts[0] == 2
+
+    def test_total_sum_mean(self):
+        hist = Histogram("h", [4])
+        hist.observe(2, n=3)
+        hist.observe(10)
+        assert hist.total == 4
+        assert hist.sum == 16
+        assert hist.mean == 4.0
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [1, 1, 2])
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+    def test_registry_requires_edges_on_first_use(self):
+        registry = MetricRegistry(Stats())
+        with pytest.raises(ValueError):
+            registry.histogram("h")
+
+    def test_registry_rejects_mismatched_edges(self):
+        registry = MetricRegistry(Stats())
+        registry.histogram("h", [1, 2])
+        assert registry.histogram("h").edges == (1, 2)
+        assert registry.histogram("h", [1, 2]) is registry.histogram("h")
+        with pytest.raises(ValueError):
+            registry.histogram("h", [1, 2, 4])
+
+    def test_not_in_stats_bag(self):
+        stats = Stats()
+        stats.registry.histogram("lat", [1, 2]).observe(1)
+        assert "lat" not in stats.as_dict()
+
+
+class TestMerge:
+    def test_registry_merge_via_stats_merge(self):
+        a, b = Stats(), Stats()
+        a.registry.counter("x").inc(1)
+        b.registry.counter("x").inc(2)
+        a.registry.gauge("g").set(3)
+        b.registry.gauge("g").set(5)
+        a.registry.histogram("h", [2]).observe(1)
+        b.registry.histogram("h", [2]).observe(4)
+        a.merge(b)
+        assert a.get("x") == 3.0
+        assert a.registry.gauge("g").value == 5  # gauges keep the max
+        assert a.registry.histogram("h").counts == [1, 1]
+
+    def test_merge_plain_stats_without_registry(self):
+        # Merging a Stats that never touched its registry must not
+        # instantiate one.
+        a, b = Stats(), Stats()
+        b.add("y", 2)
+        a.merge(b)
+        assert a.get("y") == 2.0
+        assert a._registry is None
+
+    def test_snapshot_reads_live_stats(self):
+        stats = Stats()
+        counter = stats.registry.counter("c")
+        counter.inc(2)
+        stats.add("c", 1)
+        snap = stats.registry.snapshot()
+        assert snap["counters"]["c"] == 3.0

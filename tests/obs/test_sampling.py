@@ -1,0 +1,105 @@
+"""Tests for cycle-window timeline sampling."""
+
+import numpy as np
+import pytest
+
+from repro.api import Simulation
+from repro.obs.sampling import TimelineSampler, gather_probes
+from repro.sim.engine import Component, Simulator
+
+
+class Clock(Component):
+    """Keeps the simulation alive for a fixed number of cycles."""
+
+    def __init__(self, until):
+        super().__init__("clock")
+        self.until = until
+        self.level = 0
+
+    def tick(self, now):
+        self.level = now
+
+    def next_wake(self, now):
+        return now + 1 if now < self.until else None
+
+    @property
+    def busy(self):
+        return self.level < self.until
+
+    def obs_probes(self):
+        return (("level", lambda now: self.level),)
+
+
+class TestSamplerBoundaries:
+    def test_samples_exactly_on_window_boundaries(self):
+        sim = Simulator()
+        clock = sim.register(Clock(100))
+        sampler = TimelineSampler(16, gather_probes([clock]))
+        sim.register(sampler)
+        sim.run()
+        timeline = sampler.timelines[0]
+        assert timeline.name == "clock.level"
+        assert timeline.cycles == [0, 16, 32, 48, 64, 80, 96]
+
+    def test_window_of_one_samples_every_cycle(self):
+        sim = Simulator()
+        clock = sim.register(Clock(5))
+        sampler = TimelineSampler(1, gather_probes([clock]))
+        sim.register(sampler)
+        sim.run()
+        assert sampler.timelines[0].cycles == [0, 1, 2, 3, 4, 5]
+
+    def test_no_duplicate_sample_across_two_runs(self):
+        # A second run() starting on a boundary must not re-sample it.
+        sim = Simulator()
+        clock = sim.register(Clock(32))
+        sampler = TimelineSampler(16, gather_probes([clock]))
+        sim.register(sampler)
+        sim.run()
+        first = list(sampler.timelines[0].cycles)
+        sim.run()  # quiesced: nothing new
+        assert sampler.timelines[0].cycles == first
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(0, [])
+
+
+class TestSamplerNeutrality:
+    def test_sampling_does_not_change_cycles_or_result(self, rng):
+        indices = rng.integers(0, 128, size=600)
+        plain = Simulation().run("scatter_add", indices, 1.0,
+                                 num_targets=128)
+        sampled = Simulation(sample_every=8).run("scatter_add", indices, 1.0,
+                                                 num_targets=128)
+        assert sampled.cycles == plain.cycles
+        assert np.array_equal(sampled.result, plain.result)
+
+    def test_disabled_means_no_sampler_component(self):
+        run = Simulation().run("scatter_add", [1, 2, 2], 1.0, num_targets=4)
+        assert run.observation is None
+
+    def test_enabled_produces_component_timelines(self, rng):
+        indices = rng.integers(0, 64, size=400)
+        run = Simulation(sample_every=32).run("scatter_add", indices, 1.0,
+                                              num_targets=64)
+        scope = run.observation.scopes[0]
+        names = {timeline.name for timeline in scope.timelines}
+        # Probes from every modeled layer: AGU, router, SAUs, banks, DRAM.
+        assert any(name.startswith("agu0.") for name in names)
+        assert any(".bank0." in name for name in names)
+        assert any(".sau0_0." in name for name in names)
+        assert any(".dram." in name for name in names)
+        for timeline in scope.timelines:
+            assert len(timeline.cycles) == len(timeline.values)
+            assert all(cycle % 32 == 0 for cycle in timeline.cycles)
+
+
+class TestProbeGathering:
+    def test_default_component_has_no_probes(self):
+        assert Component("x").obs_probes() == ()
+
+    def test_gather_qualifies_names(self):
+        clock = Clock(1)
+        probes = gather_probes([clock, Component("plain")])
+        assert [name for name, __ in probes] == ["clock.level"]
