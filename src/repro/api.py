@@ -108,6 +108,29 @@ class ScatterRun:
         return bottlenecks(self.stats, self.cycles, config=self.config,
                            top=top)
 
+    def latency_breakdown(self):
+        """Per-stage latency attribution of the sampled requests.
+
+        Requires ``Simulation(..., trace_requests=N)``.  Returns the
+        queueing-vs-service table of
+        :meth:`repro.obs.tracing.RequestTracer.breakdown`: one row per
+        pipeline stage with count, total cycles, mean, p50/p90/p99 and
+        share of end-to-end latency; per-stage cycle sums reconcile
+        exactly with measured end-to-end latency.
+        """
+        from repro.harness.report import latency_breakdown
+
+        if self.observation is None:
+            raise ValueError(
+                "run was not request-traced; use "
+                "Simulation(..., trace_requests=N)")
+        for scope in self.observation.scopes:
+            if scope.request_tracer is not None:
+                return latency_breakdown(scope.request_tracer)
+        raise ValueError(
+            "run was not request-traced; use "
+            "Simulation(..., trace_requests=N)")
+
     def write_trace(self, path):
         """Write a chrome://tracing JSON file for this run.
 
@@ -157,6 +180,10 @@ class Simulation:
     trace:
         When true, collect scatter-add unit events (activate / combine /
         sum) into ``run.observation`` for Chrome-trace export.
+    trace_requests:
+        When > 0, stamp one in every N application requests with a
+        lifecycle trace (see :mod:`repro.obs.tracing`); the attribution
+        table is available via :meth:`ScatterRun.latency_breakdown`.
 
     Every :meth:`run` builds a fresh processor (runs are independent and
     deterministic); the configuration and tuning knobs are shared.
@@ -166,18 +193,20 @@ class Simulation:
             "fetch_add")
 
     def __init__(self, config=None, *, chaining=True, sample_every=0,
-                 trace=False, trace_capacity=100_000):
+                 trace=False, trace_capacity=100_000, trace_requests=0):
         self.config = config if config is not None else MachineConfig.table1()
         self.chaining = chaining
         self.sample_every = sample_every
         self.trace = trace
         self.trace_capacity = trace_capacity
+        self.trace_requests = trace_requests
 
     def _observation(self):
-        if not (self.sample_every or self.trace):
+        if not (self.sample_every or self.trace or self.trace_requests):
             return None
         return Observation(sample_every=self.sample_every, trace=self.trace,
-                           trace_capacity=self.trace_capacity)
+                           trace_capacity=self.trace_capacity,
+                           trace_requests=self.trace_requests)
 
     def run(self, op, indices, values=1.0, *, num_targets=None, initial=None,
             base=0):

@@ -177,7 +177,8 @@ class CacheBank(Component):
         if request.reply_to is None:
             return
         response = MemoryResponse(request.op, request.addr, value,
-                                  tag=request.tag, words=request.words)
+                                  tag=request.tag, words=request.words,
+                                  trace=request.trace)
         heapq.heappush(
             self._due, (now + self.hit_latency, self._seq, response,
                         request.reply_to)
@@ -233,16 +234,22 @@ class CacheBank(Component):
             if line is not None:
                 self._install(line_idx, line)
         if line is not None:
+            if request.trace is not None:
+                request.trace.leg(self.name, "bank.queue", now)
             self._m_hits.inc()
             self._apply_to_line(request, line, now)
             return True
         if line_idx in self._mshrs:
             # Secondary miss: piggyback on the outstanding fill.
+            if request.trace is not None:
+                request.trace.leg(self.name, "bank.queue", now)
             self._mshrs[line_idx].append(request)
             self._m_mshr_hits.inc()
             return True
         if len(self._mshrs) >= self.mshr_count:
             return False  # stall: all MSHRs busy
+        if request.trace is not None:
+            request.trace.leg(self.name, "bank.queue", now)
         self._m_misses.inc()
         base = line_base(request.addr, self.line_words)
         if request.combining:
@@ -255,7 +262,8 @@ class CacheBank(Component):
             self._apply_to_line(request, line, now)
             return True
         self._mshrs[line_idx] = [request]
-        self._mshr_issue.append((line_idx, base))
+        # The primary miss's trace rides the line fill through DRAM.
+        self._mshr_issue.append((line_idx, base, request.trace))
         return True
 
     def _handle_fill(self, response, now):
@@ -263,7 +271,13 @@ class CacheBank(Component):
         waiting = self._mshrs.pop(line_idx, [])
         line = _Line(response.addr, list(response.value))
         self._install(line_idx, line)
+        if response.trace is not None:
+            response.trace.leg(self.name, "bank.fill", now)
         for request in waiting:
+            if (request.trace is not None
+                    and request.trace is not response.trace):
+                # Secondary traced miss: it waited on someone else's fill.
+                request.trace.leg(self.name, "bank.mshr", now)
             self._apply_to_line(request, line, now)
 
     # ------------------------------------------------------------------ #
@@ -298,6 +312,8 @@ class CacheBank(Component):
         while self._due and self._due[0][0] <= now:
             __, __, response, reply_to = heapq.heappop(self._due)
             if reply_to.can_push():
+                if response.trace is not None:
+                    response.trace.leg(self.name, "bank.service", now)
                 reply_to.push(response)
             else:  # extremely rare: retry next cycle
                 heapq.heappush(self._due, (now + 1, self._seq, response,
@@ -307,10 +323,11 @@ class CacheBank(Component):
         self._drain_evictions()
         # Issue queued fills to memory.
         while self._mshr_issue and self.mem_req_out.can_push():
-            line_idx, base = self._mshr_issue.popleft()
+            line_idx, base, trace = self._mshr_issue.popleft()
             self.mem_req_out.push(
                 MemoryRequest(OP_READ, base, reply_to=self.fill_in,
-                              words=self.line_words, tag=line_idx)
+                              words=self.line_words, tag=line_idx,
+                              trace=trace)
             )
         # Accept returned fills.
         while len(self.fill_in):

@@ -6,14 +6,19 @@ Usage::
     python -m repro run figure6 [--out results/figure6.txt]
     python -m repro run all --out-dir results/
     python -m repro simulate --updates 4096 --range 2048 --method hardware
+    python -m repro simulate --trace-requests 8
     python -m repro bench --smoke --out results/engine_bench.json
+    python -m repro bench --smoke --check benchmarks/baseline.json
     python -m repro area --units 8 --entries 8
 
 ``run`` regenerates a paper experiment and prints its table; ``simulate``
-times a single scatter-add with the chosen implementation; ``bench``
-compares the event and legacy simulation schedulers on fixed workloads
-(asserting identical cycle counts) and writes a JSON report; ``area``
-prints the die-area estimate.
+times a single scatter-add with the chosen implementation
+(``--trace-requests N`` samples 1-in-N requests and prints a per-stage
+latency breakdown); ``bench`` compares the event and legacy simulation
+schedulers on fixed workloads (asserting identical cycle counts) and
+writes a JSON report (``--check BASELINE`` fails on cycle-count drift
+beyond 25% or wall-time regression beyond 2x); ``area`` prints the
+die-area estimate.
 """
 
 import argparse
@@ -51,16 +56,20 @@ def _cmd_list(args):
 
 def _observe_if_requested(args):
     """Ambient observation context when any --trace-out / --metrics-out /
-    --sample-every flag is given; a no-op context otherwise."""
+    --sample-every / --trace-requests flag is given; a no-op context
+    otherwise."""
     import contextlib
 
     from repro.obs import observe
 
     sample_every = getattr(args, "sample_every", 0) or 0
     tracing = bool(getattr(args, "trace_out", None))
-    if not (sample_every or tracing or getattr(args, "metrics_out", None)):
+    trace_requests = getattr(args, "trace_requests", 0) or 0
+    if not (sample_every or tracing or trace_requests
+            or getattr(args, "metrics_out", None)):
         return contextlib.nullcontext(None)
-    return observe(sample_every=sample_every, trace=tracing)
+    return observe(sample_every=sample_every, trace=tracing,
+                   trace_requests=trace_requests)
 
 
 def _export_observation(args, observation):
@@ -119,8 +128,12 @@ def _cmd_simulate(args):
     expected = scatter_add_reference(np.zeros(args.range), indices, 1.0)
 
     if args.method == "hardware":
-        run = Simulation(config).run("scatter_add", indices, 1.0,
-                                     num_targets=args.range)
+        run = Simulation(
+            config,
+            sample_every=args.sample_every,
+            trace=bool(args.trace_out),
+            trace_requests=args.trace_requests,
+        ).run("scatter_add", indices, 1.0, num_targets=args.range)
     elif args.method == "sortscan":
         run = SortScanScatterAdd(config).run(indices, 1.0,
                                              num_targets=args.range)
@@ -140,6 +153,12 @@ def _cmd_simulate(args):
         from repro.harness.report import render_bottlenecks
 
         print(render_bottlenecks(run.bottlenecks(top=args.bottlenecks)))
+    if args.method == "hardware" and args.trace_requests:
+        from repro.harness.report import render_latency_breakdown
+
+        print(render_latency_breakdown(run.latency_breakdown()))
+    if args.method == "hardware":
+        _export_observation(args, run.observation)
     return 0 if exact else 1
 
 
@@ -172,6 +191,59 @@ def _bench_workloads(smoke):
         ("fig11_latency256", lambda: Simulation(fig11).run(
             "scatter_add", fig11_indices, 1.0, num_targets=65536).cycles),
     ]
+
+
+#: Bench regression thresholds for ``bench --check``: cycle counts are
+#: deterministic so small drift already signals a modelling change; wall
+#: time is noisy on shared CI runners, so only a gross slowdown fails.
+BENCH_CYCLE_TOLERANCE = 0.25
+BENCH_WALL_FACTOR = 2.0
+
+
+def check_bench_regression(results, baseline,
+                           cycle_tolerance=BENCH_CYCLE_TOLERANCE,
+                           wall_factor=BENCH_WALL_FACTOR):
+    """Compare a bench report against a committed baseline.
+
+    Returns a list of human-readable failure strings (empty = pass).
+    A workload fails when its cycle count moved more than
+    `cycle_tolerance` (fractional, either direction) or its wall time
+    exceeds `wall_factor` times the baseline.  Workloads present on only
+    one side are reported but do not fail the check, so adding a bench
+    case does not require regenerating the baseline in the same change.
+    """
+    failures = []
+    base_workloads = baseline.get("workloads", {})
+    for name, entry in results.get("workloads", {}).items():
+        base = base_workloads.get(name)
+        if base is None:
+            print("bench --check: %s not in baseline (skipped)" % name)
+            continue
+        for scheduler in ("legacy", "event"):
+            current = entry.get(scheduler, {})
+            reference = base.get(scheduler, {})
+            base_cycles = reference.get("cycles")
+            cycles = current.get("cycles")
+            if base_cycles and cycles is not None:
+                drift = abs(cycles - base_cycles) / base_cycles
+                if drift > cycle_tolerance:
+                    failures.append(
+                        "%s[%s]: cycle count %d vs baseline %d "
+                        "(%.0f%% drift > %.0f%% tolerance)"
+                        % (name, scheduler, cycles, base_cycles,
+                           100.0 * drift, 100.0 * cycle_tolerance))
+            base_wall = reference.get("wall_seconds")
+            wall = current.get("wall_seconds")
+            if base_wall and wall is not None and wall > wall_factor * base_wall:
+                failures.append(
+                    "%s[%s]: wall time %.3fs vs baseline %.3fs "
+                    "(> %.1fx slower)"
+                    % (name, scheduler, wall, base_wall, wall_factor))
+    for name in base_workloads:
+        if name not in results.get("workloads", {}):
+            print("bench --check: baseline workload %s missing from run"
+                  % name)
+    return failures
 
 
 def _cmd_bench(args):
@@ -225,10 +297,20 @@ def _cmd_bench(args):
 
         sample_every = args.sample_every or 64
         with observe(sample_every=sample_every,
-                     trace=bool(args.trace_out)) as observation:
+                     trace=bool(args.trace_out),
+                     trace_requests=args.trace_requests) as observation:
             for name, runner in _bench_workloads(args.smoke):
                 runner()
         _export_observation(args, observation)
+    if args.check:
+        baseline_path = pathlib.Path(args.check)
+        baseline = json.loads(baseline_path.read_text())
+        failures = check_bench_regression(results, baseline)
+        if failures:
+            for failure in failures:
+                print("bench --check FAIL: " + failure)
+            return 1
+        print("bench --check: no regression vs " + str(baseline_path))
     return 0
 
 
@@ -269,6 +351,11 @@ def _add_obs_arguments(parser):
     parser.add_argument(
         "--sample-every", type=int, default=0, metavar="N",
         help="sample per-component timelines every N cycles")
+    parser.add_argument(
+        "--trace-requests", type=int, default=0, metavar="N",
+        help="trace the lifecycle of one in every N memory requests "
+             "(spans + flow events in the trace, latency attribution "
+             "in metrics.json)")
 
 
 def build_parser():
@@ -299,6 +386,7 @@ def build_parser():
     simulate.add_argument(
         "--bottlenecks", type=int, default=0, metavar="N",
         help="also print the N most-utilised components (hardware only)")
+    _add_obs_arguments(simulate)
 
     bench = commands.add_parser(
         "bench", help="time the event vs legacy simulation schedulers")
@@ -308,6 +396,10 @@ def build_parser():
                        help="timing repetitions per case (best is kept)")
     bench.add_argument("--out", default="results/engine_bench.json",
                        help="where to write the JSON benchmark report")
+    bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="fail (exit 1) when cycle counts drift >25%% or wall time "
+             "exceeds 2x the committed baseline JSON")
     _add_obs_arguments(bench)
 
     area = commands.add_parser("area", help="die-area estimate")

@@ -18,14 +18,15 @@ from collections import deque
 
 
 class _Entry:
-    __slots__ = ("addr", "value", "op", "reply_to", "tag")
+    __slots__ = ("addr", "value", "op", "reply_to", "tag", "trace")
 
-    def __init__(self, addr, value, op, reply_to, tag):
+    def __init__(self, addr, value, op, reply_to, tag, trace=None):
         self.addr = addr
         self.value = value
         self.op = op
         self.reply_to = reply_to
         self.tag = tag
+        self.trace = trace
 
 
 class CombiningStore:
@@ -72,7 +73,7 @@ class CombiningStore:
         """CAM lookup: any *waiting* entry for `addr`?"""
         return bool(self._waiting.get(addr))
 
-    def allocate(self, addr, value, op, reply_to=None, tag=None):
+    def allocate(self, addr, value, op, reply_to=None, tag=None, trace=None):
         """Place a request in a free entry; returns the entry id.
 
         Raises :class:`OverflowError` when no entry is free -- callers must
@@ -82,7 +83,8 @@ class CombiningStore:
         if not self._free:
             raise OverflowError("combining store full")
         entry_id = self._free.pop()
-        self._entries[entry_id] = _Entry(addr, value, op, reply_to, tag)
+        self._entries[entry_id] = _Entry(addr, value, op, reply_to, tag,
+                                         trace=trace)
         self._waiting.setdefault(addr, deque()).append(entry_id)
         occupancy = self.occupancy
         if occupancy > self.peak_occupancy:

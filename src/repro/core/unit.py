@@ -52,10 +52,16 @@ class ScatterAddUnit(Component):
     """One scatter-add unit in front of a cache bank or memory interface."""
 
     def __init__(self, sim, config, stats, mem_out, name="sau", chaining=True,
-                 trace=None):
+                 trace=None, tracer=None):
         super().__init__(name)
         self.stats = stats
         self.trace = trace
+        # Per-request tracer (repro.obs.tracing); also enables the
+        # combining-fanout distribution (elements absorbed per active
+        # address), which needs per-chain bookkeeping kept off the hot
+        # path when tracing is disabled.
+        self.tracer = tracer
+        self._chain_absorbed = {} if tracer is not None else None
         self.store = CombiningStore(config.combining_store_entries)
         self.fu = AddPipeline(config.fu_latency)
         # Typed metric handles (see repro.obs.metrics): created once here,
@@ -103,11 +109,11 @@ class ScatterAddUnit(Component):
             reply_to.push(response)
             self._ack_retry.popleft()
 
-    def _send_ack(self, op, addr, old_value, reply_to, tag):
+    def _send_ack(self, op, addr, old_value, reply_to, tag, trace=None):
         if reply_to is None:
             return
         value = old_value if op == OP_FETCH_ADD else None
-        response = MemoryResponse(op, addr, value, tag=tag)
+        response = MemoryResponse(op, addr, value, tag=tag, trace=trace)
         if not self._ack_retry and reply_to.can_push():
             reply_to.push(response)
         else:
@@ -119,9 +125,11 @@ class ScatterAddUnit(Component):
         if done is None:
             return
         result, old_value, meta = done
-        entry_id, addr, reply_to, tag, op = meta
+        entry_id, addr, reply_to, tag, op, req_trace = meta
         self.store.release(entry_id)
-        self._send_ack(op, addr, old_value, reply_to, tag)
+        if req_trace is not None:
+            req_trace.leg(self.name, "fu", now)
+        self._send_ack(op, addr, old_value, reply_to, tag, trace=req_trace)
         self._m_sums.inc()
         self._m_fu_sums.inc()
         if self.trace is not None:
@@ -151,6 +159,8 @@ class ScatterAddUnit(Component):
         else:
             self._active.discard(addr)
             self._combining_addrs.discard(addr)
+            if self._chain_absorbed is not None:
+                self.tracer.record_fanout(self._chain_absorbed.pop(addr, 1))
 
     def _consume_value(self, now):
         if not self.fu.can_issue(now):
@@ -163,7 +173,10 @@ class ScatterAddUnit(Component):
         else:
             return
         entry_id, entry = self.store.pop_waiting(addr)
-        meta = (entry_id, addr, entry.reply_to, entry.tag, entry.op)
+        if entry.trace is not None:
+            entry.trace.leg(self.name, "store.wait", now)
+        meta = (entry_id, addr, entry.reply_to, entry.tag, entry.op,
+                entry.trace)
         self.fu.issue(entry.op, value, entry.value, meta, now)
 
     def _accept_request(self, now):
@@ -174,6 +187,8 @@ class ScatterAddUnit(Component):
             if self._mem_retry or not self.mem_out.can_push():
                 return  # back-pressure: keep request at head
             self.mem_out.push(self.req_in.pop())
+            if request.trace is not None:
+                request.trace.leg(self.name, "sau.queue", now)
             self._m_bypassed.inc()
             return
         if self.store.full:
@@ -187,10 +202,15 @@ class ScatterAddUnit(Component):
             self._m_stall_cycles.inc(now - self._stall_since)
             self._stall_since = None
         self.req_in.pop()
+        if request.trace is not None:
+            request.trace.leg(self.name, "sau.queue", now)
         self._m_atomics.inc()
         self.store.allocate(request.addr, request.value, request.op,
-                            reply_to=request.reply_to, tag=request.tag)
+                            reply_to=request.reply_to, tag=request.tag,
+                            trace=request.trace)
         if request.addr in self._active:
+            if self._chain_absorbed is not None:
+                self._chain_absorbed[request.addr] += 1
             self._m_combined.inc()
             if self.trace is not None:
                 self.trace.emit(now, self.name, "combine",
@@ -200,14 +220,19 @@ class ScatterAddUnit(Component):
             self.trace.emit(now, self.name, "activate",
                             addr=request.addr, value=request.value)
         self._active.add(request.addr)
+        if self._chain_absorbed is not None:
+            self._chain_absorbed[request.addr] = 1
         if request.combining:
             # Cache-combining mode: start the chain from the identity; the
             # current (remote) memory value is never read.
             self._combining_addrs.add(request.addr)
             self._chained.append((request.addr, identity_value(request.op)))
         else:
+            # The value read rides the activator's trace: its bank/DRAM
+            # legs are exactly the activator's wait for the memory value.
             self._push_mem(
-                MemoryRequest(OP_READ, request.addr, reply_to=self.value_in)
+                MemoryRequest(OP_READ, request.addr, reply_to=self.value_in,
+                              trace=request.trace)
             )
             self._m_value_reads.inc()
 

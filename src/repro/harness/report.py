@@ -201,3 +201,54 @@ def render_bottlenecks(ranked):
     ]
     return format_table(["component", "busy%", "events", "per-cycle cap"],
                         rows)
+
+
+# --------------------------------------------------------------------- #
+# Request-latency attribution (sampled span tracing).
+# --------------------------------------------------------------------- #
+
+def latency_breakdown(tracer):
+    """The queueing-vs-service latency attribution table of a run.
+
+    `tracer` is the :class:`~repro.obs.tracing.RequestTracer` of an
+    observed run (``--trace-requests N``).  Returns its
+    :meth:`~repro.obs.tracing.RequestTracer.breakdown` dict: one row per
+    pipeline stage, end-to-end summary, queue/service rollups, and the
+    combining-fanout distribution.  Per-stage cycle sums reconcile
+    exactly with end-to-end latency (legs partition each lifetime).
+    """
+    return tracer.breakdown()
+
+
+def render_latency_breakdown(breakdown):
+    """Aligned text table for a :func:`latency_breakdown` result."""
+    if not breakdown or not breakdown.get("requests"):
+        return "(no completed traced requests)"
+    rows = [
+        {
+            "stage": row["stage"],
+            "kind": row["kind"],
+            "count": row["count"],
+            "cycles": row["cycles"],
+            "mean": row["mean"],
+            "p50": row["p50"],
+            "p90": row["p90"],
+            "p99": row["p99"],
+            "share%": 100.0 * row["share"],
+        }
+        for row in breakdown["stages"]
+    ]
+    table = format_table(
+        ["stage", "kind", "count", "cycles", "mean", "p50", "p90", "p99",
+         "share%"], rows)
+    e2e = breakdown["end_to_end"]
+    summary = (
+        "%d requests traced (1 in %d): end-to-end mean %.1f cycles "
+        "(p50 %.0f, p90 %.0f, p99 %.0f); queueing %.0f cycles, service "
+        "%.0f cycles, unattributed %.0f" % (
+            breakdown["requests"], breakdown["sample_every"], e2e["mean"],
+            e2e["p50"], e2e["p90"], e2e["p99"], breakdown["queue_cycles"],
+            breakdown["service_cycles"], breakdown["unattributed_cycles"],
+        )
+    )
+    return table + "\n" + summary

@@ -79,7 +79,7 @@ class _MemoryEndpoint(Component):
         if request.reply_to is not None:
             response = MemoryResponse(
                 request.op, request.addr, value, tag=request.tag,
-                words=request.words,
+                words=request.words, trace=request.trace,
             )
             # Queue behind earlier blocked responses to preserve delivery
             # order (a fresh response must not overtake a retrying one).
@@ -195,6 +195,12 @@ class DRAMSystem(_MemoryEndpoint):
             if self.row_model:
                 occupied += access - self.hit_latency
             self._channel_free_at[channel] = now + occupied
+            if request.trace is not None:
+                # Queue wait ends when the channel picks the transaction;
+                # the burst span covers transfer plus access latency.
+                request.trace.leg(self.name, "dram.queue", now)
+                request.trace.leg(self.name, "dram.burst",
+                                  now + transfer + access)
             self._schedule(request, now + transfer + access)
             self._m_busy_cycles.inc(occupied)
 
@@ -250,6 +256,10 @@ class UniformMemory(_MemoryEndpoint):
             request = self.req_in.pop()
             transfer = request.words * self.interval
             self._free_at = now + transfer
+            if request.trace is not None:
+                request.trace.leg(self.name, "dram.queue", now)
+                request.trace.leg(self.name, "dram.burst",
+                                  now + transfer + self.latency)
             self._schedule(request, now + transfer + self.latency)
             self._m_busy_cycles.inc(transfer)
 

@@ -85,13 +85,18 @@ class MemoryRequest:
         Used by hierarchical combining (the paper's Section 5 future-work
         optimisation) to send partial sums to an intermediate node of the
         logical combining tree instead of straight home.
+    trace:
+        The :class:`~repro.obs.tracing.RequestTrace` riding on a sampled
+        request (``None`` for the unsampled vast majority).  Components
+        record journey legs on it; derived requests (value reads, line
+        fills) carry the same trace so the legs tile one timeline.
     """
 
     __slots__ = ("op", "addr", "value", "reply_to", "tag", "words",
-                 "combining", "route_to")
+                 "combining", "route_to", "trace")
 
     def __init__(self, op, addr, value=0.0, reply_to=None, tag=None, words=1,
-                 combining=False, route_to=None):
+                 combining=False, route_to=None, trace=None):
         self.op = op
         self.addr = addr
         self.value = value
@@ -100,6 +105,7 @@ class MemoryRequest:
         self.words = words
         self.combining = combining
         self.route_to = route_to
+        self.trace = trace
 
     @property
     def is_atomic(self):
@@ -129,14 +135,15 @@ class MemoryResponse:
     sum is computed (step 6 in Figure 4).
     """
 
-    __slots__ = ("op", "addr", "value", "tag", "words")
+    __slots__ = ("op", "addr", "value", "tag", "words", "trace")
 
-    def __init__(self, op, addr, value=0.0, tag=None, words=1):
+    def __init__(self, op, addr, value=0.0, tag=None, words=1, trace=None):
         self.op = op
         self.addr = addr
         self.value = value
         self.tag = tag
         self.words = words
+        self.trace = trace
 
     def __repr__(self):
         return "MemoryResponse(%s, addr=%d, value=%r, tag=%r)" % (

@@ -125,6 +125,8 @@ class NodeInterface(Component):
                         break
                     self.net_out.push(source.pop())
                     self._m_remote_refs.inc()
+                if request.trace is not None:
+                    request.trace.leg(self.name, "nif.queue", now)
                 moved += 1
 
     def next_wake(self, now):

@@ -74,12 +74,14 @@ class MultiNodeSystem:
         observation = obs if obs is not None else obs_session.active()
         self.obs_scope = None
         trace = None
+        tracer = None
         if observation is not None:
             self.obs_scope = observation.attach(
                 self.sim, self.stats,
                 label="multinode%d" % config.nodes, config=config)
             if observation.trace_enabled:
                 trace = self.obs_scope.tracelog
+            tracer = self.obs_scope.request_tracer
         self.memory = MainMemory()
         line = config.cache_line_words
         per_node = int(math.ceil(address_space / config.nodes / line)) * line
@@ -99,7 +101,7 @@ class MultiNodeSystem:
             node_agus = [
                 self.sim.register(AddressGeneratorUnit(
                     self.sim, config, self.stats,
-                    name="node%d.agu%d" % (node, index),
+                    name="node%d.agu%d" % (node, index), tracer=tracer,
                 ))
                 for index in range(config.address_generators)
             ]
@@ -119,7 +121,7 @@ class MultiNodeSystem:
                 memory=self.memory,
                 sumback_sink=interface.send_sumback,
                 name="node%d" % node,
-                trace=trace,
+                trace=trace, tracer=tracer,
             )
             self.memsystems.append(memsys)
 
@@ -200,6 +202,8 @@ class MultiNodeSystem:
                 )
         cycles = self.sim.cycle - start_cycle
         self.stats.record_engine(self.sim)
+        if self.obs_scope is not None:
+            self.obs_scope.flush_sampler(self.sim.cycle)
 
         for memsys in self.memsystems:
             memsys.drain_to_memory()

@@ -57,7 +57,10 @@ class Crossbar(Component):
             while pipe.ready():
                 if not self.outputs[dest].can_push():
                     break
-                self.outputs[dest].push(pipe.pop())
+                request = pipe.pop()
+                if request.trace is not None:
+                    request.trace.leg(self.name, "xbar.hop", now)
+                self.outputs[dest].push(request)
         # Arbitrate: each input injects up to bw_words; each output accepts
         # up to bw_words.
         out_budget = [self.bw_words] * self.nodes
@@ -74,6 +77,8 @@ class Crossbar(Component):
                     self._m_hol_blocks.inc()
                     break  # head-of-line blocking
                 self._pipes[dest].push(source.pop(), now)
+                if request.trace is not None:
+                    request.trace.leg(self.name, "xbar.queue", now)
                 out_budget[dest] -= 1
                 injected += 1
                 self._m_words.inc()

@@ -79,11 +79,18 @@ class StreamMemOp:
 
 
 class AddressGeneratorUnit(Component):
-    """Issues one stream memory operation at a time into the router."""
+    """Issues one stream memory operation at a time into the router.
 
-    def __init__(self, sim, config, stats, name="agu"):
+    `tracer` is the observation scope's per-request
+    :class:`~repro.obs.tracing.RequestTracer` (``None`` when request
+    tracing is off): the AGU is where application requests are born, so
+    it is where the 1-in-N sampling decision stamps a trace on one.
+    """
+
+    def __init__(self, sim, config, stats, name="agu", tracer=None):
         super().__init__(name)
         self.stats = stats
+        self.tracer = tracer
         self.width = config.agu_words_per_cycle
         # Typed metric handles (see repro.obs.metrics): one per-AGU refs
         # counter plus the shared memory-system total.
@@ -110,7 +117,7 @@ class AddressGeneratorUnit(Component):
         return self._current is None and not self._queue
 
     def tick(self, now):
-        self._collect_acks()
+        self._collect_acks(now)
         if self._current is None and self._queue:
             self._current = self._queue.popleft()
             self._current.start_cycle = now
@@ -132,6 +139,9 @@ class AddressGeneratorUnit(Component):
                 tag=(op, index),
                 combining=op.combining,
             )
+            if self.tracer is not None:
+                request.trace = self.tracer.maybe_trace(
+                    request.op, request.addr, now)
             self.out.push(request)
             self._next_index += 1
             issued += 1
@@ -154,9 +164,12 @@ class AddressGeneratorUnit(Component):
         # remaining acknowledgements (their arrival wakes us).
         return None
 
-    def _collect_acks(self):
+    def _collect_acks(self, now):
         while len(self.ack_in):
             response = self.ack_in.pop()
+            if response.trace is not None:
+                response.trace.leg(self.name, "reply", now)
+                response.trace.finish(now)
             op, index = response.tag
             if op.result is not None:
                 op.result[index] = response.value

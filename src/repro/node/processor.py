@@ -58,22 +58,24 @@ class StreamProcessor:
         observation = obs if obs is not None else obs_session.active()
         self.obs_scope = None
         trace = None
+        tracer = None
         if observation is not None:
             self.obs_scope = observation.attach(
                 self.sim, self.stats, label="node", config=config)
             if observation.trace_enabled:
                 trace = self.obs_scope.tracelog
+            tracer = self.obs_scope.request_tracer
         self.agus = [
             self.sim.register(
                 AddressGeneratorUnit(self.sim, config, self.stats,
-                                     name="agu%d" % index)
+                                     name="agu%d" % index, tracer=tracer)
             )
             for index in range(config.address_generators)
         ]
         self.memsys = MemorySystem(
             self.sim, config, self.stats,
             sources=[agu.out for agu in self.agus],
-            memory=memory, chaining=chaining, trace=trace,
+            memory=memory, chaining=chaining, trace=trace, tracer=tracer,
         )
         self.clusters = ClusterArray(config, self.stats)
         if self.obs_scope is not None:
@@ -126,6 +128,10 @@ class StreamProcessor:
         start = self.sim.cycle
         end = self.sim.run()
         self.stats.record_engine(self.sim)
+        if self.obs_scope is not None:
+            # Capture the final partial timeline window (and any sampler
+            # state) at the phase's quiescent cycle.
+            self.obs_scope.flush_sampler(end)
         # Per-op launch overhead; ops on one AGU serialise their overheads.
         overhead = self.config.stream_op_overhead * max(agu_load)
         self.stats.add("memsys.stream_ops", len(mem_ops))

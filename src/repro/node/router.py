@@ -61,6 +61,8 @@ class Router(Component):
                     blocked += 1
                     break
                 target.push(source.pop())
+                if request.trace is not None:
+                    request.trace.leg(self.name, "router.queue", now)
                 moved += 1
             if moved >= self.width:
                 break

@@ -6,6 +6,9 @@ Structured measurement for the simulator, layered on the event engine:
   gauges, fixed-bucket histograms) backing the flat ``Stats`` bag;
 - :mod:`~repro.obs.sampling` -- cycle-window :class:`TimelineSampler`
   producing per-component occupancy/utilization timelines;
+- :mod:`~repro.obs.tracing` -- sampled per-request lifecycle spans
+  (:class:`RequestTracer`, ``--trace-requests N``) and the
+  queueing-vs-service latency attribution table;
 - :mod:`~repro.obs.session` -- :func:`observe` context manager and
   :class:`Observation` scopes that attach all of the above to running
   simulators;
@@ -28,6 +31,7 @@ from repro.obs.export import (
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
 from repro.obs.sampling import Timeline, TimelineSampler, gather_probes
 from repro.obs.session import Observation, ObservationScope, active, observe
+from repro.obs.tracing import RequestTrace, RequestTracer, Span
 
 __all__ = [
     "Counter",
@@ -37,6 +41,9 @@ __all__ = [
     "MetricRegistry",
     "Observation",
     "ObservationScope",
+    "RequestTrace",
+    "RequestTracer",
+    "Span",
     "Timeline",
     "TimelineSampler",
     "active",

@@ -11,7 +11,13 @@ Two machine-readable artifacts per observed run:
   sampled timelines as counter tracks (``ph: "C"``).  Timestamps are
   simulated cycles (one trace microsecond per cycle).
 - **metrics.json**: the registry snapshot (counters, gauges, histograms),
-  sampled timelines and the bottleneck ranking, per scope.
+  sampled timelines, the bottleneck ranking and (when request tracing is
+  on) the per-stage latency attribution table, per scope.
+
+Sampled request lifecycles (``--trace-requests N``) export as per-stage
+complete spans on each component's thread plus Chrome *flow events*
+(``ph: "s"/"t"/"f"`` sharing an ``id``) that draw arrows linking one
+request's spans across component tracks in Perfetto.
 
 Both formats ship a validator used by tests and the CI artifact gate.
 """
@@ -21,8 +27,12 @@ import json
 #: Schema tag written into (and required from) every metrics.json.
 METRICS_SCHEMA = "repro.metrics/1"
 
-#: Chrome trace event phases this exporter emits.
-_PHASES = ("X", "i", "C", "M")
+#: Chrome trace event phases this exporter emits (s/t/f are the flow
+#: start/step/finish events linking a traced request across threads).
+_PHASES = ("X", "i", "C", "M", "s", "t", "f")
+
+#: Flow-event phases (subset of ``_PHASES``): start, step, finish.
+_FLOW_PHASES = ("s", "t", "f")
 
 
 # --------------------------------------------------------------------- #
@@ -70,6 +80,43 @@ def chrome_trace_events(observation):
                     "ts": cycle, "pid": pid, "tid": 0,
                     "args": {"value": value},
                 })
+        tracer = getattr(scope, "request_tracer", None)
+        if tracer is not None:
+            events.extend(_request_events(tracer, pid, tid_of))
+    return events
+
+
+def _request_events(tracer, pid, tid_of):
+    """Span + flow events for every completed sampled request.
+
+    Each leg becomes a complete span on its component's thread; a flow
+    chain (start / step / finish sharing ``id = rid``) links the spans
+    across threads so Perfetto draws the request's path as arrows.
+    """
+    events = []
+    for trace in tracer.traces:
+        spans = trace.spans
+        last = len(spans) - 1
+        for position, span in enumerate(spans):
+            tid = tid_of(span.component)
+            events.append({
+                "ph": "X", "name": span.stage, "cat": "request",
+                "ts": span.start, "dur": span.duration,
+                "pid": pid, "tid": tid,
+                "args": {"rid": trace.rid, "op": trace.op,
+                         "addr": trace.addr},
+            })
+            if last == 0:
+                continue  # a single span needs no flow arrows
+            flow = {
+                "ph": _FLOW_PHASES[0 if position == 0
+                                   else (2 if position == last else 1)],
+                "name": "request", "cat": "request", "id": trace.rid,
+                "ts": span.start, "pid": pid, "tid": tid,
+            }
+            if position == last:
+                flow["bp"] = "e"  # bind to the enclosing slice
+            events.append(flow)
     return events
 
 
@@ -86,7 +133,12 @@ def validate_chrome_trace(payload):
     """Raise ``ValueError`` unless `payload` is a loadable Chrome trace.
 
     Accepts both the object form (``{"traceEvents": [...]}``) and the bare
-    event array, the two shapes ``chrome://tracing`` loads.
+    event array, the two shapes ``chrome://tracing`` loads.  Beyond the
+    per-event field checks, the flow-event schema is validated: every
+    flow event needs an ``id``, every finish (``f``) and step (``t``)
+    needs a matching start (``s``), and the request spans of one traced
+    request (``cat: "request"``, same ``args.rid``) must appear with
+    monotonically non-decreasing timestamps.
     """
     if isinstance(payload, dict):
         events = payload.get("traceEvents")
@@ -97,6 +149,8 @@ def validate_chrome_trace(payload):
     else:
         raise ValueError("trace must be an object or an event array, got %s"
                          % type(payload).__name__)
+    flow_ids = {phase: set() for phase in _FLOW_PHASES}
+    request_cursor = {}  # (pid, rid) -> last span ts
     for index, event in enumerate(events):
         if not isinstance(event, dict):
             raise ValueError("trace event %d is not an object" % index)
@@ -111,6 +165,33 @@ def validate_chrome_trace(payload):
             raise ValueError("trace event %d has non-numeric ts" % index)
         if event["ph"] == "X" and "dur" not in event:
             raise ValueError("complete event %d lacks 'dur'" % index)
+        if event["ph"] in _FLOW_PHASES:
+            if "id" not in event:
+                raise ValueError("flow event %d (ph=%r) lacks an 'id'"
+                                 % (index, event["ph"]))
+            flow_ids[event["ph"]].add((event["pid"], event["id"]))
+        if event["ph"] == "X" and event.get("cat") == "request":
+            rid = event.get("args", {}).get("rid")
+            if rid is not None:
+                key = (event["pid"], rid)
+                last = request_cursor.get(key)
+                if last is not None and event["ts"] < last:
+                    raise ValueError(
+                        "request %r span at event %d goes back in time "
+                        "(ts %r after %r)" % (rid, index, event["ts"], last))
+                request_cursor[key] = event["ts"]
+    for phase in ("t", "f"):
+        orphans = flow_ids[phase] - flow_ids["s"]
+        if orphans:
+            raise ValueError(
+                "flow %s events without a matching start (ph='s'): ids %s"
+                % ("step" if phase == "t" else "finish",
+                   sorted(rid for __, rid in orphans)[:5]))
+    unfinished = flow_ids["s"] - flow_ids["f"]
+    if unfinished:
+        raise ValueError(
+            "flow start events without a matching finish (ph='f'): ids %s"
+            % sorted(rid for __, rid in unfinished)[:5])
     return events
 
 
@@ -135,10 +216,14 @@ def metrics_payload(observation):
             "bottlenecks": bottlenecks(scope.stats, scope.cycles,
                                        config=scope.config),
         }
+        tracer = getattr(scope, "request_tracer", None)
+        if tracer is not None:
+            entry["latency_breakdown"] = tracer.breakdown()
         scopes.append(entry)
     return {
         "schema": METRICS_SCHEMA,
         "sample_every": observation.sample_every,
+        "trace_requests": getattr(observation, "trace_requests", 0),
         "scopes": scopes,
     }
 
@@ -184,6 +269,18 @@ def validate_metrics(payload):
                     timeline.get("values", ())):
                 raise ValueError("scope %d timeline %r: cycle/value arrays "
                                  "differ in length" % (index, name))
+        breakdown = scope.get("latency_breakdown")
+        if breakdown is not None:
+            stages = breakdown.get("stages")
+            if not isinstance(stages, list):
+                raise ValueError("scope %d latency_breakdown lacks a "
+                                 "'stages' array" % index)
+            for row in stages:
+                for field in ("stage", "kind", "count", "cycles"):
+                    if field not in row:
+                        raise ValueError(
+                            "scope %d latency_breakdown stage row lacks %r"
+                            % (index, field))
     return payload
 
 

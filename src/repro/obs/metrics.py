@@ -95,6 +95,32 @@ class Histogram:
     def mean(self):
         return self.sum / self.total if self.total else 0.0
 
+    def percentile(self, q):
+        """The `q`-th percentile (0..100), interpolated from bucket edges.
+
+        Observations are only known up to their bucket, so the value is
+        linearly interpolated between the bucket's lower and upper edge.
+        The first bucket interpolates from 0 (or its edge, if negative);
+        the overflow bucket has no upper edge and clamps to the last one.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100], got %r" % (q,))
+        if not self.total:
+            return 0.0
+        target = self.total * (q / 100.0)
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += count
+            if count and cumulative >= target:
+                if index >= len(self.edges):  # overflow: upper edge unknown
+                    return float(self.edges[-1])
+                upper = float(self.edges[index])
+                lower = (float(self.edges[index - 1]) if index
+                         else min(0.0, upper))
+                return lower + (upper - lower) * (target - previous) / count
+        return float(self.edges[-1])
+
     def merge(self, other):
         """Accumulate another histogram with identical edges."""
         if other.edges != self.edges:
@@ -113,6 +139,9 @@ class Histogram:
             "counts": list(self.counts),
             "total": self.total,
             "sum": self.sum,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
         }
 
     def __repr__(self):

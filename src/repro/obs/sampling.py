@@ -83,6 +83,20 @@ class TimelineSampler(Component):
         for timeline, (__, fn) in zip(self.timelines, self._probes):
             timeline.append(now, fn(now))
 
+    def flush(self, now):
+        """Record one final sample at `now` (the run's quiescent cycle).
+
+        Tick-driven samples land only on window boundaries, so a run ending
+        mid-window would otherwise lose its final partial window; harness
+        code calls this once after ``sim.run()`` returns.  Flushing exactly
+        on an already-sampled boundary is a no-op.
+        """
+        if now == self._last_sampled:
+            return
+        self._last_sampled = now
+        for timeline, (__, fn) in zip(self.timelines, self._probes):
+            timeline.append(now, fn(now))
+
     def next_wake(self, now):
         return now + self.every - (now % self.every)
 

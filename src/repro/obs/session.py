@@ -26,6 +26,7 @@ simulation hot path is untouched.
 from contextlib import contextmanager
 
 from repro.obs.sampling import TimelineSampler, gather_probes
+from repro.obs.tracing import RequestTracer
 from repro.sim.trace import TraceLog
 
 #: The ambient observation installed by :func:`observe`, or ``None``.
@@ -38,11 +39,13 @@ def active():
 
 
 @contextmanager
-def observe(sample_every=0, trace=False, trace_capacity=100_000):
+def observe(sample_every=0, trace=False, trace_capacity=100_000,
+            trace_requests=0):
     """Install an ambient observation for the duration of the block."""
     global _ACTIVE
     observation = Observation(sample_every=sample_every, trace=trace,
-                              trace_capacity=trace_capacity)
+                              trace_capacity=trace_capacity,
+                              trace_requests=trace_requests)
     previous = _ACTIVE
     _ACTIVE = observation
     try:
@@ -82,6 +85,13 @@ class ObservationScope:
         self.tracelog = TraceLog(enabled=observation.trace_enabled,
                                  capacity=observation.trace_capacity,
                                  stats=stats)
+        # Per-request lifecycle tracer (repro.obs.tracing): sampled 1-in-N
+        # span tracing; None keeps every hot-path `trace is None` check a
+        # single attribute load with no tracer object alive.
+        self.request_tracer = None
+        if observation.trace_requests:
+            self.request_tracer = RequestTracer(observation.trace_requests,
+                                                stats.registry)
 
     def install_sampler(self):
         """Register the timeline sampler; call once components exist."""
@@ -94,6 +104,11 @@ class ObservationScope:
         self.sampler = TimelineSampler(every, probes,
                                        name=self.label + ".sampler")
         self.sim.register(self.sampler)
+
+    def flush_sampler(self, now):
+        """Capture the final partial sampling window at quiescence."""
+        if self.sampler is not None:
+            self.sampler.flush(now)
 
     def span(self, name, start, duration):
         """Record a completed span for the trace exporter."""
@@ -116,15 +131,20 @@ class ObservationScope:
 class Observation:
     """What to observe, plus every scope collected while observing."""
 
-    def __init__(self, sample_every=0, trace=False, trace_capacity=100_000):
+    def __init__(self, sample_every=0, trace=False, trace_capacity=100_000,
+                 trace_requests=0):
         self.sample_every = int(sample_every or 0)
         self.trace_enabled = bool(trace)
         self.trace_capacity = trace_capacity
+        #: Sample one request in every N for lifecycle span tracing
+        #: (0 = off; see repro.obs.tracing).
+        self.trace_requests = int(trace_requests or 0)
         self.scopes = []
 
     @property
     def enabled(self):
-        return self.sample_every > 0 or self.trace_enabled
+        return (self.sample_every > 0 or self.trace_enabled
+                or self.trace_requests > 0)
 
     def attach(self, sim, stats, label="", config=None):
         """Create a scope for one simulator; returns it."""

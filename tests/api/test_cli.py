@@ -1,8 +1,15 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import (
+    EXPERIMENTS,
+    build_parser,
+    check_bench_regression,
+    main,
+)
 
 
 class TestParser:
@@ -14,6 +21,12 @@ class TestParser:
         args = build_parser().parse_args(["simulate"])
         assert args.updates == 4096
         assert args.method == "hardware"
+        assert args.trace_requests == 0
+
+    def test_trace_requests_flag(self):
+        args = build_parser().parse_args(
+            ["simulate", "--trace-requests", "16"])
+        assert args.trace_requests == 16
 
     def test_invalid_method_rejected(self):
         with pytest.raises(SystemExit):
@@ -72,9 +85,24 @@ class TestBench:
         with pytest.raises(SystemExit):
             main(["bench", "--smoke", "--repeats", "0"])
 
-    def test_bench_smoke_writes_report(self, capsys, tmp_path):
-        import json
+    def test_simulate_prints_latency_breakdown(self, capsys):
+        code = main(["simulate", "--updates", "256", "--range", "64",
+                     "--trace-requests", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests traced" in out
+        assert "unattributed 0" in out
 
+    def test_simulate_exports_request_trace(self, capsys, tmp_path):
+        trace = tmp_path / "req.trace.json"
+        code = main(["simulate", "--updates", "128", "--range", "32",
+                     "--trace-requests", "4", "--trace-out", str(trace)])
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        phases = {event["ph"] for event in payload["traceEvents"]}
+        assert {"s", "t", "f"} <= phases
+
+    def test_bench_smoke_writes_report(self, capsys, tmp_path):
         out = tmp_path / "bench.json"
         assert main(["bench", "--smoke", "--repeats", "1",
                      "--out", str(out)]) == 0
@@ -90,3 +118,68 @@ class TestBench:
             assert entry["speedup"] > 0
         printed = capsys.readouterr().out
         assert "speedup" in printed
+
+
+def _bench_entry(cycles, wall):
+    return {
+        "legacy": {"cycles": cycles, "wall_seconds": wall},
+        "event": {"cycles": cycles, "wall_seconds": wall},
+    }
+
+
+class TestBenchCheck:
+    def test_identical_reports_pass(self):
+        report = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        assert check_bench_regression(report, report) == []
+
+    def test_small_drift_within_tolerance_passes(self):
+        current = {"workloads": {"histogram": _bench_entry(1100, 0.6)}}
+        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        assert check_bench_regression(current, baseline) == []
+
+    def test_cycle_drift_beyond_tolerance_fails(self):
+        current = {"workloads": {"histogram": _bench_entry(1300, 0.5)}}
+        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        failures = check_bench_regression(current, baseline)
+        assert failures and "cycle count" in failures[0]
+
+    def test_cycle_speedup_beyond_tolerance_also_fails(self):
+        # A big *drop* in cycle count is a modelling change too.
+        current = {"workloads": {"histogram": _bench_entry(700, 0.5)}}
+        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        assert check_bench_regression(current, baseline)
+
+    def test_wall_time_regression_fails(self):
+        current = {"workloads": {"histogram": _bench_entry(1000, 1.2)}}
+        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        failures = check_bench_regression(current, baseline)
+        assert failures and "wall time" in failures[0]
+
+    def test_new_workload_is_skipped_not_failed(self, capsys):
+        current = {"workloads": {"histogram": _bench_entry(1000, 0.5),
+                                 "brand_new": _bench_entry(9, 9.0)}}
+        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        assert check_bench_regression(current, baseline) == []
+        assert "not in baseline" in capsys.readouterr().out
+
+    def test_cli_check_passes_against_fresh_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--out", str(baseline)]) == 0
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--out", str(out), "--check", str(baseline)]) == 0
+
+    def test_cli_check_fails_on_corrupted_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--out", str(baseline)]) == 0
+        doctored = json.loads(baseline.read_text())
+        for entry in doctored["workloads"].values():
+            entry["legacy"]["cycles"] *= 2
+            entry["event"]["cycles"] *= 2
+        baseline.write_text(json.dumps(doctored))
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--out", str(out), "--check", str(baseline)]) == 1
+        assert "FAIL" in capsys.readouterr().out

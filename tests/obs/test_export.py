@@ -67,6 +67,66 @@ class TestChromeTrace:
             run.write_trace(tmp_path / "nope.json")
 
 
+class TestFlowEventSchema:
+    def _flow(self, ph, rid, ts=0, pid=0):
+        return {"ph": ph, "name": "request", "cat": "request", "id": rid,
+                "ts": ts, "pid": pid, "tid": 1}
+
+    def test_accepts_matched_flow_chain(self):
+        validate_chrome_trace([
+            self._flow("s", 1, ts=0),
+            self._flow("t", 1, ts=5),
+            self._flow("f", 1, ts=9),
+        ])
+
+    def test_rejects_flow_event_without_id(self):
+        with pytest.raises(ValueError, match="lacks an 'id'"):
+            validate_chrome_trace(
+                [{"ph": "s", "ts": 0, "pid": 0, "tid": 1}])
+
+    def test_rejects_finish_without_start(self):
+        with pytest.raises(ValueError, match="without a matching start"):
+            validate_chrome_trace([self._flow("f", 7)])
+
+    def test_rejects_step_without_start(self):
+        with pytest.raises(ValueError, match="without a matching start"):
+            validate_chrome_trace(
+                [self._flow("s", 1), self._flow("f", 1),
+                 self._flow("t", 2)])
+
+    def test_rejects_start_without_finish(self):
+        with pytest.raises(ValueError, match="without a matching finish"):
+            validate_chrome_trace([self._flow("s", 3)])
+
+    def test_rejects_non_monotone_request_spans(self):
+        span = {"ph": "X", "name": "fu", "cat": "request", "dur": 1,
+                "pid": 0, "tid": 1, "args": {"rid": 4}}
+        with pytest.raises(ValueError, match="back in time"):
+            validate_chrome_trace([
+                dict(span, ts=10), dict(span, ts=3),
+            ])
+
+    def test_non_request_spans_need_not_be_ordered(self):
+        validate_chrome_trace([
+            {"ph": "X", "name": "a", "cat": "phase", "dur": 1,
+             "pid": 0, "tid": 0, "ts": 10},
+            {"ph": "X", "name": "b", "cat": "phase", "dur": 1,
+             "pid": 0, "tid": 0, "ts": 3},
+        ])
+
+    def test_request_traced_run_exports_valid_flows(self, rng, tmp_path):
+        indices = rng.integers(0, 64, size=300)
+        run = Simulation(trace_requests=5).run(
+            "scatter_add", indices, 1.0, num_targets=64)
+        payload = run.write_trace(tmp_path / "req.trace.json")
+        events = validate_chrome_trace(payload)
+        phases = {event["ph"] for event in events}
+        assert {"s", "t", "f"} <= phases
+        spans = [e for e in events
+                 if e["ph"] == "X" and e.get("cat") == "request"]
+        assert spans, "request spans expected"
+
+
 class TestMetricsJson:
     def test_schema_and_content(self, traced_run, tmp_path):
         path = tmp_path / "metrics.json"

@@ -39,6 +39,24 @@ class TestGoldenStats:
                                 trace=True).stats.as_dict()
         assert model_counters(observed) == model_counters(plain)
 
+    def test_request_tracing_is_bit_identical(self):
+        # The tentpole guarantee: request tracing must be a pure observer.
+        # Cycle counts, results and the *full* Stats.as_dict() (engine
+        # scheduler counters included -- the tracer registers no
+        # components) are bit-identical with tracing on vs. off.
+        plain = _figure8_run()
+        traced = _figure8_run(trace_requests=7)
+        assert traced.cycles == plain.cycles
+        assert traced.stats.as_dict() == plain.stats.as_dict()
+        assert np.array_equal(traced.result, plain.result)
+
+    def test_request_tracing_sampling_rate_is_neutral(self):
+        # Any sampling period gives the same simulation.
+        dense = _figure8_run(trace_requests=1)
+        sparse = _figure8_run(trace_requests=100)
+        assert dense.cycles == sparse.cycles
+        assert dense.stats.as_dict() == sparse.stats.as_dict()
+
     def test_expected_counter_families_present(self):
         values = _figure8_run().stats.as_dict()
         expected = [

@@ -108,6 +108,55 @@ class TestHistogram:
         assert "lat" not in stats.as_dict()
 
 
+class TestHistogramPercentile:
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("h", [1, 2]).percentile(50) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        hist = Histogram("h", [1, 2])
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_interpolates_within_first_bucket(self):
+        # 10 observations in the [0, 10] bucket: p50 is the bucket
+        # midpoint under linear interpolation.
+        hist = Histogram("h", [10, 20])
+        hist.observe(5, n=10)
+        assert hist.percentile(50) == 5.0
+        assert hist.percentile(100) == 10.0
+
+    def test_interpolates_between_edges(self):
+        hist = Histogram("h", [10, 20])
+        hist.observe(5, n=5)   # bucket <= 10
+        hist.observe(15, n=5)  # bucket <= 20
+        # p90: target 9 of 10 -> 4 past the 5 in bucket 0; interpolate
+        # 4/5 of the way through [10, 20].
+        assert hist.percentile(90) == pytest.approx(18.0)
+
+    def test_overflow_bucket_clamps_to_last_edge(self):
+        hist = Histogram("h", [1, 2])
+        hist.observe(100, n=4)
+        assert hist.percentile(99) == 2.0
+
+    def test_as_dict_includes_percentiles(self):
+        hist = Histogram("h", [4, 8])
+        hist.observe(2, n=8)
+        data = hist.as_dict()
+        for key in ("p50", "p90", "p99"):
+            assert key in data
+        assert data["p50"] <= data["p90"] <= data["p99"] <= 8
+
+    def test_percentiles_monotone_on_spread_data(self):
+        hist = Histogram("h", [1, 2, 4, 8, 16, 32])
+        for value in (1, 1, 2, 3, 5, 9, 17, 30, 31, 100):
+            hist.observe(value)
+        p50, p90, p99 = (hist.percentile(q) for q in (50, 90, 99))
+        assert p50 <= p90 <= p99
+        assert p99 <= 32  # clamped to the last edge
+
+
 class TestMerge:
     def test_registry_merge_via_stats_merge(self):
         a, b = Stats(), Stats()

@@ -92,7 +92,57 @@ class TestSamplerNeutrality:
         assert any(".dram." in name for name in names)
         for timeline in scope.timelines:
             assert len(timeline.cycles) == len(timeline.values)
-            assert all(cycle % 32 == 0 for cycle in timeline.cycles)
+            # Every sample lands on a window boundary, except the final
+            # flush sample capturing the run's last partial window.
+            assert all(cycle % 32 == 0 for cycle in timeline.cycles[:-1])
+            assert timeline.cycles == sorted(set(timeline.cycles))
+
+    def test_final_partial_window_is_flushed(self, rng):
+        indices = rng.integers(0, 64, size=400)
+        run = Simulation(sample_every=10_000).run(
+            "scatter_add", indices, 1.0, num_targets=64)
+        scope = run.observation.scopes[0]
+        # The run is far shorter than one window; without the flush the
+        # only sample would be the cycle-0 boundary.
+        # The flush lands at the engine's quiescent cycle (scope.cycles
+        # additionally counts analytic launch overheads).
+        for timeline in scope.timelines:
+            assert len(timeline.cycles) == 2
+            assert timeline.cycles[0] == 0
+            assert 0 < timeline.cycles[1] <= scope.cycles
+
+
+class TestSamplerFlush:
+    def test_flush_records_final_partial_window(self):
+        sim = Simulator()
+        clock = sim.register(Clock(100))
+        sampler = TimelineSampler(16, gather_probes([clock]))
+        sim.register(sampler)
+        end = sim.run()
+        sampler.flush(end)
+        timeline = sampler.timelines[0]
+        assert timeline.cycles == [0, 16, 32, 48, 64, 80, 96, end]
+        assert timeline.values[-1] == clock.level
+
+    def test_flush_on_boundary_is_noop(self):
+        sim = Simulator()
+        clock = sim.register(Clock(32))
+        sampler = TimelineSampler(16, gather_probes([clock]))
+        sim.register(sampler)
+        sim.run()
+        before = list(sampler.timelines[0].cycles)
+        sampler.flush(before[-1])
+        assert sampler.timelines[0].cycles == before
+
+    def test_flush_is_idempotent(self):
+        sim = Simulator()
+        clock = sim.register(Clock(20))
+        sampler = TimelineSampler(16, gather_probes([clock]))
+        sim.register(sampler)
+        end = sim.run()
+        sampler.flush(end)
+        sampler.flush(end)
+        assert sampler.timelines[0].cycles == [0, 16, end]
 
 
 class TestProbeGathering:
