@@ -184,6 +184,11 @@ class Simulation:
         When > 0, stamp one in every N application requests with a
         lifecycle trace (see :mod:`repro.obs.tracing`); the attribution
         table is available via :meth:`ScatterRun.latency_breakdown`.
+    engine:
+        Scheduler backend: ``"event"`` (default, wake/sleep event-driven),
+        ``"columnar"`` (event scheduler plus array-at-a-time hot paths --
+        bit-identical results, see docs/ARCHITECTURE.md), or ``"legacy"``
+        (tick-every-component reference).  ``None`` selects the default.
 
     Every :meth:`run` builds a fresh processor (runs are independent and
     deterministic); the configuration and tuning knobs are shared.
@@ -193,13 +198,15 @@ class Simulation:
             "fetch_add")
 
     def __init__(self, config=None, *, chaining=True, sample_every=0,
-                 trace=False, trace_capacity=100_000, trace_requests=0):
+                 trace=False, trace_capacity=100_000, trace_requests=0,
+                 engine=None):
         self.config = config if config is not None else MachineConfig.table1()
         self.chaining = chaining
         self.sample_every = sample_every
         self.trace = trace
         self.trace_capacity = trace_capacity
         self.trace_requests = trace_requests
+        self.engine = engine
 
     def _observation(self):
         if not (self.sample_every or self.trace or self.trace_requests):
@@ -242,7 +249,7 @@ class Simulation:
         _validate_indices(indices, num_targets)
         observation = self._observation()
         processor = StreamProcessor(self.config, chaining=self.chaining,
-                                    obs=observation)
+                                    obs=observation, engine=self.engine)
         if initial is not None:
             processor.load_array(base, np.asarray(initial, dtype=np.float64))
         if np.isscalar(values):

@@ -48,6 +48,11 @@ def engine_summary(stats):
     `stats` is a :class:`~repro.sim.stats.Stats` (or plain mapping) holding
     the counters recorded by ``Stats.record_engine``.  Returns ``""`` when
     no engine counters are present (e.g. a run that never called it).
+
+    Under the columnar engine a second segment reports the
+    ``sim.columnar.*`` batching family: bursts executed, per-cycle events
+    folded into them, acknowledgements coalesced, and how many ticks fell
+    back to the exact scalar path.
     """
     values = stats if isinstance(stats, dict) else stats.as_dict()
     engine = {key[len("engine."):]: value for key, value in values.items()
@@ -60,8 +65,13 @@ def engine_summary(stats):
     idle_ticks = engine.get("ticks_skipped", 0)
     total_cycles = executed + skipped_cycles
     total_ticks = ticks + idle_ticks
-    name = "event" if engine.get("scheduler_event") else "legacy"
-    return (
+    if engine.get("scheduler_columnar"):
+        name = "columnar"
+    elif engine.get("scheduler_event"):
+        name = "event"
+    else:
+        name = "legacy"
+    line = (
         "engine[%s]: %d/%d cycles executed (%.1f%% fast-forwarded), "
         "%d/%d ticks run (%.1f%% skipped)" % (
             name, executed, total_cycles,
@@ -70,6 +80,20 @@ def engine_summary(stats):
             100.0 * idle_ticks / total_ticks if total_ticks else 0.0,
         )
     )
+    columnar = {key[len("sim.columnar."):]: value
+                for key, value in values.items()
+                if key.startswith("sim.columnar.")}
+    if name == "columnar" and columnar:
+        line += (
+            "; columnar: %d bursts (%d events batched, %d acks coalesced, "
+            "%d scalar fallbacks)" % (
+                columnar.get("bursts", 0),
+                columnar.get("batched_events", 0),
+                columnar.get("acks_batched", 0),
+                columnar.get("scalar_fallbacks", 0),
+            )
+        )
+    return line
 
 
 def _format_cell(value):

@@ -37,15 +37,14 @@ class MainMemory:
 
     def load_array(self, base, array):
         """Bulk-initialise memory from a 1-D array at word address `base`."""
-        for offset, value in enumerate(array):
-            self._words[base + offset] = float(value)
+        values = np.asarray(array, dtype=np.float64).tolist()
+        self._words.update(zip(range(base, base + len(values)), values))
 
     def export_array(self, base, length, dtype=np.float64):
         """Read `length` words starting at `base` into a numpy array."""
         read = self._words.get
         out = np.empty(length, dtype=dtype)
-        for i in range(length):
-            out[i] = read(base + i, 0.0)
+        out[:] = [read(addr, 0.0) for addr in range(base, base + length)]
         return out
 
     def touched_addresses(self):

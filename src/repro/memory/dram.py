@@ -15,7 +15,7 @@ latency/throughput structure the Section 4.4 sensitivity studies use.
 import heapq
 from collections import deque
 
-from repro.memory.address import channel_of
+from repro.memory.address import channel_of, decode_channels, decode_rows
 from repro.memory.request import OP_READ, OP_WRITE, MemoryResponse
 from repro.sim.engine import Component
 
@@ -55,27 +55,29 @@ class _MemoryEndpoint(Component):
             reply_to.push(response)
             self._retry.popleft()
 
-    def _apply(self, request):
+    def _apply_functional(self, request):
+        """Apply the request to backing memory; returns the read value."""
         if request.op == OP_READ:
             self._m_reads.inc()
             self._m_read_words.inc(request.words)
             if request.words == 1:
-                value = self.memory.read_word(request.addr)
-            else:
-                value = self.memory.read_line(request.addr, request.words)
-        elif request.op == OP_WRITE:
+                return self.memory.read_word(request.addr)
+            return self.memory.read_line(request.addr, request.words)
+        if request.op == OP_WRITE:
             self._m_writes.inc()
             self._m_write_words.inc(request.words)
             if request.words == 1:
                 self.memory.write_word(request.addr, request.value)
             else:
                 self.memory.write_line(request.addr, request.value)
-            value = None
-        else:
-            raise ValueError(
-                "%s received non-read/write request %r; atomics must be "
-                "handled by a scatter-add unit" % (self.name, request)
-            )
+            return None
+        raise ValueError(
+            "%s received non-read/write request %r; atomics must be "
+            "handled by a scatter-add unit" % (self.name, request)
+        )
+
+    def _apply(self, request):
+        value = self._apply_functional(request)
         if request.reply_to is not None:
             response = MemoryResponse(
                 request.op, request.addr, value, tag=request.tag,
@@ -141,28 +143,28 @@ class DRAMSystem(_MemoryEndpoint):
         sim.register(self)
 
     def _pick(self, queue, channel):
-        """Select the next transaction for a channel.
+        """Select the next ``(request, row)`` transaction for a channel.
 
         In-order takes the head.  FR-FCFS scans a small window for the
         oldest request hitting the open row ("first ready"), falling back
-        to the oldest request.
+        to the oldest request.  Rows were classified when the request was
+        routed, so the scan is pure comparisons.
         """
         if not self.row_model or not self.frfcfs:
             return queue.popleft()
         open_row = self._open_rows[channel]
         limit = min(len(queue), self.SCHED_WINDOW)
         for position in range(limit):
-            if queue[position].addr // self.row_words == open_row:
-                request = queue[position]
+            if queue[position][1] == open_row:
+                entry = queue[position]
                 del queue[position]
                 self._m_sched_reorders.inc(1 if position else 0)
-                return request
+                return entry
         return queue.popleft()
 
-    def _access_latency(self, request, channel):
+    def _access_latency(self, row, channel):
         if not self.row_model:
             return self.latency
-        row = request.addr // self.row_words
         if row == self._open_rows[channel]:
             self._m_row_hits.inc()
             return self.hit_latency
@@ -173,21 +175,40 @@ class DRAMSystem(_MemoryEndpoint):
     def tick(self, now):
         self._complete_due(now)
         # Route arrived requests to their home channel (one per channel/cycle
-        # of routing bandwidth, which never binds in practice).
+        # of routing bandwidth, which never binds in practice).  Channel and
+        # row decode happen here; with several arrivals under the columnar
+        # engine the whole batch decodes in one vectorized pass (batched
+        # row-hit classification feeding the per-channel schedulers).
+        pending = len(self.req_in)
         routed = 0
-        while len(self.req_in) and routed < self.channels:
-            request = self.req_in.pop()
-            channel = channel_of(request.addr, self.channels, self.line_words)
-            self._channel_queues[channel].append(request)
-            routed += 1
+        if pending > 1 and getattr(self._sim, "columnar", False):
+            count = min(pending, self.channels)
+            requests = [self.req_in.pop() for _ in range(count)]
+            addrs = [request.addr for request in requests]
+            homes = decode_channels(addrs, self.channels,
+                                    self.line_words).tolist()
+            rows = (decode_rows(addrs, self.row_words).tolist()
+                    if self.row_model else [None] * count)
+            for request, channel, row in zip(requests, homes, rows):
+                self._channel_queues[channel].append((request, row))
+            routed = count
+        else:
+            while len(self.req_in) and routed < self.channels:
+                request = self.req_in.pop()
+                channel = channel_of(request.addr, self.channels,
+                                     self.line_words)
+                row = (request.addr // self.row_words
+                       if self.row_model else None)
+                self._channel_queues[channel].append((request, row))
+                routed += 1
         # Start one transaction per idle channel.
         for channel in range(self.channels):
             queue = self._channel_queues[channel]
             if not queue or self._channel_free_at[channel] > now:
                 continue
-            request = self._pick(queue, channel)
+            request, row = self._pick(queue, channel)
             transfer = request.words * self.interval
-            access = self._access_latency(request, channel)
+            access = self._access_latency(row, channel)
             # Under the row model a conflict also occupies the channel for
             # the precharge/activate time, costing bandwidth, not just
             # latency.
@@ -247,6 +268,7 @@ class UniformMemory(_MemoryEndpoint):
         self.latency = config.uniform_latency
         self.req_in = sim.fifo(capacity=64, name=name + ".req_in")
         self._free_at = 0
+        self._last_start = -1  # strictly-increasing transaction starts
         self.watch(self.req_in)
         sim.register(self)
 
@@ -256,12 +278,56 @@ class UniformMemory(_MemoryEndpoint):
             request = self.req_in.pop()
             transfer = request.words * self.interval
             self._free_at = now + transfer
+            self._last_start = now
             if request.trace is not None:
                 request.trace.leg(self.name, "dram.queue", now)
                 request.trace.leg(self.name, "dram.burst",
                                   now + transfer + self.latency)
             self._schedule(request, now + transfer + self.latency)
             self._m_busy_cycles.inc(transfer)
+
+    def columnar_fusable(self):
+        """True when a fused ingest would be order-exact right now.
+
+        Fusion bypasses the input FIFO entirely, so it is only valid
+        while no request is transiting the scalar path: the FIFO must be
+        idle (phantoms included) and no in-flight transaction or blocked
+        response may be pending -- otherwise apply/response order could
+        invert.
+        """
+        return self.req_in.idle and not self._due and not self._retry
+
+    def columnar_ingest(self, request, commit_cycle):
+        """Account one transaction exactly as the scalar path would.
+
+        `commit_cycle` is the cycle the request would have committed into
+        the input FIFO (push cycle + 1).  Returns ``(value, done)`` where
+        `done` is the cycle the scalar model would apply the request and
+        push its response (the response is then *visible* to a popper at
+        ``done + 1``).  The functional effect is applied immediately --
+        order-exact because callers only fuse while
+        :meth:`columnar_fusable` holds, which makes ingest order equal
+        transaction start order equal scalar apply order.
+
+        The caller owns response delivery (a timed push, or direct
+        consumption by a fused scatter-add unit) and must keep the engine
+        non-quiescent through `done` (``schedule_fence``).
+        """
+        start = commit_cycle if commit_cycle > self._free_at else self._free_at
+        if start <= self._last_start:
+            # The scalar model pops at most one request per tick, so
+            # transaction starts are strictly increasing even when the
+            # channel interval would allow same-cycle starts.
+            start = self._last_start + 1
+        transfer = request.words * self.interval
+        self._free_at = start + transfer
+        self._last_start = start
+        done = start + transfer + self.latency
+        if request.trace is not None:
+            request.trace.leg(self.name, "dram.queue", start)
+            request.trace.leg(self.name, "dram.burst", done)
+        self._m_busy_cycles.inc(transfer)
+        return self._apply_functional(request), done
 
     def next_wake(self, now):
         if self._retry:

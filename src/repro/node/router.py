@@ -84,5 +84,10 @@ class Router(Component):
         return (
             ("queued", lambda now: sum(
                 source.occupancy for source in self.sources)),
-            ("moved_last_tick", lambda now: self._moved),
+            # Engine-independent: the sampler ticks after the router, so
+            # the sampled value is the current cycle's move count.  A
+            # sleeping router (idle-skip schedulers) moved nothing this
+            # cycle, even though its most recent actual tick did.
+            ("moved_last_tick",
+             lambda now: self._moved if self._last_tick == now else 0),
         )

@@ -104,6 +104,10 @@ class ObservationScope:
         self.sampler = TimelineSampler(every, probes,
                                        name=self.label + ".sampler")
         self.sim.register(self.sampler)
+        # Live probes read intermediate state at window boundaries, which
+        # columnar fast paths would pre-execute past; they fall back to
+        # exact scalar ticking while a sampler is attached.
+        self.sim.live_probes = True
 
     def flush_sampler(self, now):
         """Capture the final partial sampling window at quiescence."""

@@ -30,6 +30,19 @@ Two schedulers implement those semantics:
     (``tests/sim/test_scheduler_equivalence.py``) enforces bit-identical
     cycle counts, stats and results between the two schedulers.
 
+``"columnar"``
+    The event scheduler plus *timed channel operations*: a batching
+    component may compute many cycles of its own deterministic future in
+    a single tick (array-at-a-time, see :mod:`repro.sim.columns`) as long
+    as every externally observable effect -- a push into a channel, the
+    capacity/wake bookkeeping of a pop, a functional memory apply -- is
+    registered with the engine at the exact ``(cycle, component order)``
+    point the scalar execution would have produced it.  The engine
+    services those registrations interleaved with ordinary component
+    ticks, so downstream components cannot tell batched execution from
+    scalar execution.  The golden equivalence suite runs all three
+    schedulers against each other.
+
 Select a scheduler per :class:`Simulator` (``Simulator(scheduler=...)``),
 process-wide via the ``REPRO_SCHEDULER`` environment variable, or
 temporarily with :func:`use_scheduler`.
@@ -39,7 +52,7 @@ import os
 from contextlib import contextmanager
 from heapq import heappop, heappush
 
-SCHEDULERS = ("event", "legacy")
+SCHEDULERS = ("event", "legacy", "columnar")
 
 #: Scheduler used by Simulators constructed without an explicit choice.
 DEFAULT_SCHEDULER = os.environ.get("REPRO_SCHEDULER", "event")
@@ -157,9 +170,10 @@ class Simulator:
         rather than looping forever (the usual symptom of a deadlocked
         back-pressure cycle in a model under development).
     scheduler:
-        ``"event"`` (idle-skip, the default) or ``"legacy"`` (tick every
-        component every cycle).  ``None`` resolves against
-        :data:`DEFAULT_SCHEDULER`.
+        ``"event"`` (idle-skip, the default), ``"legacy"`` (tick every
+        component every cycle) or ``"columnar"`` (event plus timed
+        channel operations for array-at-a-time components).  ``None``
+        resolves against :data:`DEFAULT_SCHEDULER`.
     """
 
     def __init__(self, max_cycles=200_000_000, scheduler=None):
@@ -176,11 +190,23 @@ class Simulator:
         self._busy_count = 0  # components currently reporting busy
         self._active_channels = 0  # non-idle fifos + pipes
         self._processing_order = -1  # order of the component mid-tick
+        #: Components consult this to enable their columnar fast paths.
+        self.columnar = self.scheduler == "columnar"
+        #: Set by the observability layer when live sampling probes are
+        #: installed; columnar fast paths then fall back to scalar ticking
+        #: so intermediate state at window boundaries stays exact.
+        self.live_probes = False
+        # Timed channel operations (columnar scheduler): heap of
+        # [cycle, order, seq, kind, target, payload] serviced interleaved
+        # with component ticks at exactly (cycle, order).
+        self._timed = []
+        self._timed_seq = 0
         # Observability counters (surfaced as "engine.*" stats).
         self.ticks_executed = 0
         self.ticks_skipped = 0
         self.cycles_executed = 0
         self.cycles_fast_forwarded = 0
+        self.timed_ops_serviced = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -228,11 +254,85 @@ class Simulator:
     @property
     def quiescent(self):
         """True when no component or channel holds pending work."""
+        if self._timed:
+            return False
         if any(component.busy for component in self._components):
             return False
         if any(not queue.idle for queue in self._fifos):
             return False
         return all(pipe.idle for pipe in self._pipes)
+
+    # ------------------------------------------------------------------ #
+    # timed channel operations (columnar scheduler)
+    # ------------------------------------------------------------------ #
+    def _schedule_timed(self, cycle, order, kind, target, payload):
+        if order is None:
+            order = self._processing_order
+        self._timed_seq += 1
+        entry = [cycle, order, self._timed_seq, kind, target, payload]
+        heappush(self._timed, entry)
+        return entry
+
+    def schedule_push(self, fifo, item, cycle, order=None):
+        """Commit a push into `fifo` during future `cycle`.
+
+        Exactly as if the component at registration `order` (default: the
+        one currently ticking) had pushed inside its tick at `cycle`: the
+        item stages during `cycle`, commits at the end of it and wakes the
+        FIFO's readers for ``cycle + 1``.  The producer must guarantee
+        capacity (unbounded FIFO or sole-writer reservation); a full FIFO
+        at service time raises, it does not silently retry.
+
+        Returns the heap entry.  A producer that later wants to supersede
+        the push (e.g. to grow an acknowledgement batch) may cancel it by
+        setting ``entry[3] = "dead"`` -- but only while the entry is still
+        pending; a serviced entry is marked ``"dead"`` by the engine, so
+        ``entry[3] == "push"`` is the liveness test.
+        """
+        return self._schedule_timed(cycle, order, "push", fifo, item)
+
+    def schedule_pop_release(self, fifo, cycle, order=None):
+        """Release one :meth:`FIFO.pop_early` phantom slot at `cycle`.
+
+        The capacity accounting and writer wakes of the early pop happen
+        at exactly the ``(cycle, order)`` point the scalar path would
+        have popped, so back-pressure evolution is bit-identical.
+        """
+        return self._schedule_timed(cycle, order, "pop", fifo, None)
+
+    def schedule_call(self, fn, cycle, order=None):
+        """Run ``fn(cycle)`` at `cycle`, ordered like a component tick."""
+        return self._schedule_timed(cycle, order, "call", None, fn)
+
+    def schedule_fence(self, cycle):
+        """Keep the engine non-quiescent (and stepping) through `cycle`.
+
+        Batching components that account future work without leaving it
+        in any channel use a fence so the run terminates at the same
+        cycle scalar execution would.
+        """
+        return self._schedule_timed(cycle, -1, "fence", None, None)
+
+    def _service_timed(self, entry):
+        cycle, order, __, kind, target, payload = entry
+        self.timed_ops_serviced += 1
+        if kind == "push":
+            self._processing_order = order
+            target.push(payload)
+        elif kind == "pop":
+            occupancy = target.occupancy
+            target._phantom -= 1
+            was_full = (target.capacity is not None
+                        and occupancy >= target.capacity)
+            self._processing_order = order
+            self._fifo_popped(target, was_full, target.idle)
+        elif kind == "call":
+            self._processing_order = order
+            payload(cycle)
+        # "fence" and "dead" entries need no action.  Mark the entry
+        # consumed either way, so a producer holding a reference can
+        # distinguish "still pending (supersedable)" from "delivered".
+        entry[3] = "dead"
 
     # ------------------------------------------------------------------ #
     # wake/sleep bookkeeping (event scheduler)
@@ -331,8 +431,21 @@ class Simulator:
         now = self.cycle
         for pipe in self._pipes:
             pipe.advance(now)
-        for component in self._components:
-            component.tick(now)
+        timed = self._timed
+        if timed:
+            for component in self._components:
+                order = component._order
+                while timed and (timed[0][0] < now or
+                                 (timed[0][0] == now and timed[0][1] <= order)):
+                    self._service_timed(heappop(timed))
+                self._processing_order = order
+                component.tick(now)
+            while timed and timed[0][0] <= now:
+                self._service_timed(heappop(timed))
+            self._processing_order = -1
+        else:
+            for component in self._components:
+                component.tick(now)
         for queue in self._fifos:
             queue.sync()
             queue._dirty = False
@@ -350,11 +463,35 @@ class Simulator:
         for pipe in self._pipes:
             pipe.advance(now)
         heap = self._wake_heap
+        timed = self._timed
         ticked = 0
-        while heap and heap[0][0] == now:
-            entry_cycle, order, component = heappop(heap)
-            if component._wake_sched != entry_cycle:
-                continue  # superseded by an earlier wake (lazy deletion)
+        while True:
+            # Next valid component wake this cycle (lazy deletion of
+            # entries superseded by an earlier wake).
+            comp_order = None
+            while heap and heap[0][0] == now:
+                if heap[0][2]._wake_sched != heap[0][0]:
+                    heappop(heap)
+                    continue
+                comp_order = heap[0][1]
+                break
+            # Next timed channel operation due now (or overdue, after a
+            # bounded run stopped short of its cycle).
+            timed_order = None
+            while timed and timed[0][0] <= now:
+                if timed[0][3] == "dead":
+                    heappop(timed)
+                    continue
+                timed_order = timed[0][1]
+                break
+            if timed_order is not None and (timed[0][0] < now
+                                            or comp_order is None
+                                            or timed_order <= comp_order):
+                self._service_timed(heappop(timed))
+                continue
+            if comp_order is None:
+                break
+            __, order, component = heappop(heap)
             component._wake_sched = None
             self._processing_order = order
             component.tick(now)
@@ -400,9 +537,9 @@ class Simulator:
                 "a longer run is intended" % (until, self.max_cycles)
             )
         bound = self.max_cycles if until is None else until
-        if self.scheduler == "event":
-            return self._run_event(bound, until)
-        return self._run_legacy(bound, until)
+        if self.scheduler == "legacy":
+            return self._run_legacy(bound, until)
+        return self._run_event(bound, until)
 
     def _run_legacy(self, bound, until):
         while self.cycle < bound:
@@ -416,8 +553,12 @@ class Simulator:
     def _run_event(self, bound, until):
         self._arm()
         heap = self._wake_heap
+        timed = self._timed
         while True:
-            if self._busy_count == 0 and self._active_channels == 0:
+            while timed and timed[0][3] == "dead":
+                heappop(timed)
+            if (self._busy_count == 0 and self._active_channels == 0
+                    and not timed):
                 return self.cycle  # quiescent
             if self.cycle >= bound:
                 break
@@ -429,6 +570,8 @@ class Simulator:
                     continue
                 target = cycle
                 break
+            if timed and (target is None or timed[0][0] < target):
+                target = timed[0][0]
             if target is None or target >= bound:
                 # Non-quiescent but nothing scheduled before the bound:
                 # every remaining cycle is a provable no-op; jump to the
@@ -468,8 +611,10 @@ class Simulator:
         """Scheduler work counters as a plain dict (see ``Stats.record_engine``)."""
         return {
             "scheduler_event": 1 if self.scheduler == "event" else 0,
+            "scheduler_columnar": 1 if self.scheduler == "columnar" else 0,
             "cycles_executed": self.cycles_executed,
             "cycles_fast_forwarded": self.cycles_fast_forwarded,
             "ticks_executed": self.ticks_executed,
             "ticks_skipped": self.ticks_skipped,
+            "timed_ops": self.timed_ops_serviced,
         }

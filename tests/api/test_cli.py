@@ -80,6 +80,11 @@ class TestBench:
         assert args.smoke is False
         assert args.repeats == 3
         assert args.out == "results/engine_bench.json"
+        assert args.engine == "all"
+
+    def test_parser_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--engine", "warp"])
 
     def test_bench_rejects_non_positive_repeats(self):
         with pytest.raises(SystemExit):
@@ -112,12 +117,25 @@ class TestBench:
         assert set(workloads) == {"histogram", "spmv_ebe_hw",
                                   "fig11_latency256"}
         for entry in workloads.values():
-            # Both schedulers simulate the identical workload.
+            # Every scheduler simulates the identical workload.
             assert entry["event"]["cycles"] == entry["legacy"]["cycles"]
+            assert entry["columnar"]["cycles"] == entry["event"]["cycles"]
             assert entry["event"]["cycles_per_second"] > 0
             assert entry["speedup"] > 0
+            assert entry["columnar_speedup"] > 0
         printed = capsys.readouterr().out
-        assert "speedup" in printed
+        assert "event/legacy" in printed
+        assert "columnar/event" in printed
+
+    def test_bench_single_engine_has_no_speedup_column(self, capsys,
+                                                       tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--engine", "columnar", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["engines"] == ["columnar"]
+        for entry in report["workloads"].values():
+            assert set(entry) == {"columnar"}
 
 
 def _bench_entry(cycles, wall):

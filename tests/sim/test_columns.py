@@ -1,0 +1,139 @@
+"""Columnar batch kernels match the scalar combining algebra exactly.
+
+The array-at-a-time hot paths (:mod:`repro.sim.columns`) fold combining
+operations with numpy ufuncs; the scalar reference
+(:func:`repro.memory.request.combine`) folds one request at a time.
+Both must agree bit-for-bit -- including the awkward cases: duplicate
+indices in one batch, min/max ties (and signed-zero ties), the empty
+batch, and the single-request batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memory.request import (OP_FETCH_ADD, OP_SCATTER_ADD,
+                                  OP_SCATTER_MAX, OP_SCATTER_MIN,
+                                  OP_SCATTER_MUL, MemoryRequest, combine,
+                                  identity_value)
+from repro.sim.columns import AckBatch, RequestPool, chain_prefix, combine_batch
+
+OPS = (OP_SCATTER_ADD, OP_SCATTER_MIN, OP_SCATTER_MAX,
+       OP_SCATTER_MUL, OP_FETCH_ADD)
+
+
+def _scalar_fold(op, target, indices, operands):
+    """Reference: apply each (index, operand) in order via scalar combine."""
+    out = np.array(target, dtype=np.float64)
+    for index, operand in zip(indices, operands):
+        out[index] = combine(op, float(out[index]), float(operand))
+    return out
+
+
+class TestCombineBatch:
+    @pytest.mark.parametrize("op", OPS)
+    def test_duplicate_indices(self, op):
+        rng = np.random.default_rng(3)
+        target = rng.normal(size=8)
+        indices = np.array([3, 3, 3, 1, 3, 1, 0, 3])
+        operands = rng.normal(size=len(indices))
+        expected = _scalar_fold(op, target, indices, operands)
+        got = np.array(target)
+        combine_batch(op, got, indices, operands)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("op", (OP_SCATTER_MIN, OP_SCATTER_MAX))
+    def test_min_max_ties(self, op):
+        # Equal operands must leave exactly one representative; signed
+        # zeros compare equal, so either representation is bit-acceptable
+        # under == (the scalar path keeps the incumbent, numpy may not).
+        target = np.array([2.0, -1.0, 0.0])
+        indices = np.array([0, 0, 1, 1, 2, 2])
+        operands = np.array([2.0, 2.0, -1.0, -1.0, -0.0, 0.0])
+        expected = _scalar_fold(op, target, indices, operands)
+        got = np.array(target)
+        combine_batch(op, got, indices, operands)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_empty_batch(self, op):
+        target = np.array([1.0, 2.0, 3.0])
+        got = np.array(target)
+        combine_batch(op, got, np.array([], dtype=np.int64),
+                      np.array([], dtype=np.float64))
+        np.testing.assert_array_equal(got, target)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_single_request_batch(self, op):
+        target = np.array([4.0, -2.5])
+        got = np.array(target)
+        combine_batch(op, got, np.array([1]), np.array([0.75]))
+        expected = _scalar_fold(op, target, [1], [0.75])
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_scalar_operand_broadcasts(self, op):
+        target = (np.zeros(4) if op in (OP_SCATTER_ADD, OP_FETCH_ADD)
+                  else np.full(4, 2.0))
+        indices = np.array([2, 2, 0, 2])
+        expected = _scalar_fold(op, target, indices, [1.5] * 4)
+        got = np.array(target)
+        combine_batch(op, got, indices, 1.5)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_identity_operands_are_neutral(self, op):
+        rng = np.random.default_rng(7)
+        target = rng.normal(size=5)
+        indices = np.array([0, 1, 2, 3, 4])
+        got = np.array(target)
+        combine_batch(op, got, indices,
+                      np.full(5, identity_value(op)))
+        np.testing.assert_array_equal(got, target)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_large_random_batch_matches_scalar(self, op):
+        rng = np.random.default_rng(11)
+        target = rng.normal(size=32)
+        indices = rng.integers(0, 32, size=500)
+        operands = rng.normal(size=500)
+        expected = _scalar_fold(op, target, indices, operands)
+        got = np.array(target)
+        combine_batch(op, got, indices, operands)
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestChainPrefix:
+    @pytest.mark.parametrize("op", OPS)
+    def test_prefix_fold_matches_scalar(self, op):
+        rng = np.random.default_rng(13)
+        start = float(rng.normal())
+        operands = rng.normal(size=9)
+        prefixes = chain_prefix(op, start, operands)
+        running = start
+        for position, operand in enumerate(operands):
+            running = combine(op, running, float(operand))
+            assert prefixes[position] == running
+
+    def test_empty_chain(self):
+        assert len(chain_prefix(OP_SCATTER_ADD, 1.0, np.array([]))) == 0
+
+
+class TestRequestFootprint:
+    def test_memory_request_has_no_dict(self):
+        request = MemoryRequest(OP_SCATTER_ADD, addr=7, value=1.0)
+        assert not hasattr(request, "__dict__")
+        with pytest.raises(AttributeError):
+            request.arbitrary_attribute = 1
+
+    def test_ack_batch_has_no_dict(self):
+        batch = AckBatch([])
+        assert not hasattr(batch, "__dict__")
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_pooled_requests_have_no_dict(self, op):
+        pool = RequestPool(4)
+        request = pool.acquire(op, addr=3, value=2.0)
+        try:
+            assert not hasattr(request, "__dict__")
+        finally:
+            pool.release(request)

@@ -1,10 +1,12 @@
-"""Golden equivalence: the event scheduler is cycle-identical to legacy.
+"""Golden equivalence: event and columnar schedulers match legacy exactly.
 
-The event scheduler may only *skip* ticks that are provably no-ops, so
-every workload must produce bit-identical final cycle counts, statistics
-(modulo the ``engine.*`` observability counters) and numerical results
-under both schedulers.  These tests run real workloads through both and
-diff everything.
+The event scheduler may only *skip* ticks that are provably no-ops, and
+the columnar engine may only batch work whose observable effects it
+reproduces cycle-exactly, so every workload must produce bit-identical
+final cycle counts, statistics (modulo the ``engine.*`` and
+``sim.columnar.*`` observability counters), metrics payloads, latency
+breakdowns and numerical results under all three schedulers.  These
+tests run real workloads through each and diff everything.
 """
 
 import random
@@ -12,32 +14,49 @@ import random
 import numpy as np
 import pytest
 
-from repro.api import scatter_add_reference, simulate_scatter_add
+from repro.api import Simulation, scatter_add_reference, simulate_scatter_add
 from repro.config import MachineConfig
 from repro.multinode.system import MultiNodeSystem
-from repro.sim.engine import use_scheduler
+from repro.sim.engine import SCHEDULERS, use_scheduler
+
+#: Counter/gauge/histogram prefixes that legitimately differ between
+#: schedulers: they describe the engine's own work, not the machine's.
+ENGINE_PREFIXES = ("engine.", "sim.columnar")
 
 
 def _strip_engine(stats):
     return {key: value for key, value in stats.as_dict().items()
-            if not key.startswith("engine.")}
+            if not key.startswith(ENGINE_PREFIXES)}
 
 
-def _run_both(fn):
-    with use_scheduler("legacy"):
-        legacy = fn()
-    with use_scheduler("event"):
-        event = fn()
-    return legacy, event
+def _strip_metrics(payload):
+    """Drop engine-internal entries from a metrics.json payload."""
+    for scope in payload.get("scopes", []):
+        for family in ("counters", "gauges", "histograms"):
+            scope[family] = {
+                key: value for key, value in scope.get(family, {}).items()
+                if not key.startswith(ENGINE_PREFIXES)
+            }
+    return payload
 
 
-def _assert_equivalent(legacy, event):
-    cycles_a, stats_a, result_a = legacy
-    cycles_b, stats_b, result_b = event
-    assert cycles_a == cycles_b
-    assert stats_a == stats_b
-    np.testing.assert_array_equal(np.asarray(result_a),
-                                  np.asarray(result_b))
+def _run_all(fn):
+    """Run `fn` under every scheduler; returns {scheduler: result}."""
+    runs = {}
+    for scheduler in ("legacy", "event", "columnar"):
+        with use_scheduler(scheduler):
+            runs[scheduler] = fn()
+    return runs
+
+
+def _assert_equivalent(runs):
+    cycles_ref, stats_ref, result_ref = runs["legacy"]
+    for scheduler in ("event", "columnar"):
+        cycles, stats, result = runs[scheduler]
+        assert cycles == cycles_ref, scheduler
+        assert stats == stats_ref, scheduler
+        np.testing.assert_array_equal(np.asarray(result),
+                                      np.asarray(result_ref))
 
 
 class TestSingleNode:
@@ -50,11 +69,11 @@ class TestSingleNode:
             run_ = simulate_scatter_add(indices, values, num_targets=512)
             return run_.cycles, _strip_engine(run_.stats), run_.result
 
-        legacy, event = _run_both(run)
-        _assert_equivalent(legacy, event)
+        runs = _run_all(run)
+        _assert_equivalent(runs)
         expected = scatter_add_reference(np.zeros(512), indices, values)
-        np.testing.assert_allclose(np.asarray(event[2]), expected,
-                                   atol=1e-9)
+        np.testing.assert_allclose(np.asarray(runs["columnar"][2]),
+                                   expected, atol=1e-9)
 
     def test_hot_bank_single_address(self):
         # Maximal combining pressure: every update hits one address, so
@@ -63,7 +82,7 @@ class TestSingleNode:
             run_ = simulate_scatter_add([7] * 2000, 1.0, num_targets=16)
             return run_.cycles, _strip_engine(run_.stats), run_.result
 
-        _assert_equivalent(*_run_both(run))
+        _assert_equivalent(_run_all(run))
 
     def test_spmv_ebe_hardware(self):
         from repro.workloads.fem import build_tet_mesh
@@ -76,7 +95,7 @@ class TestSingleNode:
             result = workload.run_ebe_hardware(config)
             return result.cycles, _strip_engine(result.stats), result.y
 
-        _assert_equivalent(*_run_both(run))
+        _assert_equivalent(_run_all(run))
 
     def test_spmv_csr(self):
         from repro.workloads.fem import build_tet_mesh
@@ -89,7 +108,7 @@ class TestSingleNode:
             result = workload.run_csr(config)
             return result.cycles, _strip_engine(result.stats), result.y
 
-        _assert_equivalent(*_run_both(run))
+        _assert_equivalent(_run_all(run))
 
     def test_molecular_dynamics(self):
         from repro.workloads.md import MDWorkload
@@ -102,12 +121,13 @@ class TestSingleNode:
             return (result.cycles, _strip_engine(result.stats),
                     result.forces)
 
-        _assert_equivalent(*_run_both(run))
+        _assert_equivalent(_run_all(run))
 
     def test_uniform_memory_latency_sensitivity(self):
         # The Figure 11 configuration: long fixed latency over a huge
-        # index range -- the event scheduler's best case (and where
-        # fast-forward gaps are longest), so divergence would show here.
+        # index range -- the event scheduler's best case and the columnar
+        # engine's hot path (fused SAU bursts, ack batching), so
+        # divergence would show here.
         rng = random.Random(5)
         indices = [rng.randrange(65536) for _ in range(512)]
         config = MachineConfig.uniform(latency=256, interval=2)
@@ -117,7 +137,24 @@ class TestSingleNode:
                                         config=config)
             return run_.cycles, _strip_engine(run_.stats), run_.result
 
-        _assert_equivalent(*_run_both(run))
+        _assert_equivalent(_run_all(run))
+
+    @pytest.mark.parametrize("op", ["scatter_min", "scatter_max",
+                                    "scatter_mul", "fetch_add"])
+    def test_non_add_operations(self, op):
+        # The columnar bank window and combining-store batch paths must
+        # honour every combining algebra, not just addition.
+        rng = np.random.default_rng(11)
+        indices = rng.integers(0, 64, size=600)
+        values = rng.normal(size=600)
+        initial = rng.normal(size=64)
+
+        def run():
+            run_ = Simulation(MachineConfig.table1()).run(
+                op, indices, values, num_targets=64, initial=initial)
+            return run_.cycles, _strip_engine(run_.stats), run_.result
+
+        _assert_equivalent(_run_all(run))
 
 
 class TestMultiNode:
@@ -142,7 +179,43 @@ class TestMultiNode:
             return (outcome.cycles, _strip_engine(system.stats),
                     outcome.result)
 
-        _assert_equivalent(*_run_both(run))
+        _assert_equivalent(_run_all(run))
+
+
+class TestObservabilityEquivalence:
+    """metrics.json and latency breakdowns are engine-independent."""
+
+    # sample_every=0 matters: without live probes the columnar engine
+    # takes its fused/batched paths instead of the exact scalar
+    # fallback, so that variant diffs the batching itself.
+    @pytest.mark.parametrize("sample_every", [0, 64])
+    @pytest.mark.parametrize("config_name", ["table1", "uniform"])
+    def test_metrics_payload_identical(self, config_name, sample_every):
+        from repro.obs.export import metrics_payload
+
+        rng = random.Random(9)
+        if config_name == "table1":
+            config = MachineConfig.table1()
+            indices = [rng.randrange(2048) for _ in range(1500)]
+            targets = 2048
+        else:
+            config = MachineConfig.uniform(latency=256, interval=2)
+            indices = [rng.randrange(65536) for _ in range(384)]
+            targets = 65536
+
+        def run():
+            sim = Simulation(config, sample_every=sample_every,
+                             trace_requests=16)
+            run_ = sim.run("scatter_add", indices, 1.0, num_targets=targets)
+            payload = _strip_metrics(metrics_payload(run_.observation))
+            return payload, run_.latency_breakdown()
+
+        runs = _run_all(run)
+        payload_ref, breakdown_ref = runs["legacy"]
+        for scheduler in ("event", "columnar"):
+            payload, breakdown = runs[scheduler]
+            assert payload == payload_ref, scheduler
+            assert breakdown == breakdown_ref, scheduler
 
 
 class TestEngineCounters:
@@ -168,3 +241,20 @@ class TestEngineCounters:
         assert stats["engine.scheduler_event"] == 0
         assert stats["engine.ticks_skipped"] == 0
         assert stats["engine.cycles_fast_forwarded"] == 0
+
+    def test_columnar_run_services_timed_ops(self):
+        rng = random.Random(5)
+        indices = [rng.randrange(65536) for _ in range(256)]
+        config = MachineConfig.uniform(latency=256, interval=2)
+        with use_scheduler("columnar"):
+            run_ = simulate_scatter_add(indices, 1.0, num_targets=65536,
+                                        config=config)
+        stats = run_.stats.as_dict()
+        assert stats["engine.scheduler_columnar"] == 1
+        # The fused uniform-memory path replaces per-cycle polling with
+        # timed channel operations, so some must have been serviced.
+        assert stats["engine.timed_ops"] > 0
+        assert stats["engine.cycles_executed"] < run_.cycles
+
+    def test_schedulers_registry_is_closed(self):
+        assert set(SCHEDULERS) == {"legacy", "event", "columnar"}
