@@ -11,7 +11,7 @@ Run:  python examples/design_space.py
 
 import numpy as np
 
-from repro import AreaModel, MachineConfig, simulate_scatter_add
+from repro import AreaModel, MachineConfig, Simulation
 from repro.harness.sweep import grid_sweep, sweep
 
 RNG = np.random.default_rng(0)
@@ -19,7 +19,8 @@ TRACE = RNG.integers(0, 8192, size=8192)
 
 
 def measure(config):
-    run = simulate_scatter_add(TRACE, 1.0, num_targets=8192, config=config)
+    run = Simulation(config).run("scatter_add", TRACE, 1.0,
+                                 num_targets=8192)
     area = AreaModel(
         units=config.cache_banks * config.scatter_add_units_per_bank,
         combining_store_entries=config.combining_store_entries,

@@ -13,7 +13,7 @@ Run:  python examples/histogram_equalization.py
 
 import numpy as np
 
-from repro import MachineConfig, simulate_scatter_add
+from repro import MachineConfig, Simulation
 from repro.software import SortScanScatterAdd
 
 LEVELS = 256
@@ -45,8 +45,8 @@ def main():
           % (image.shape[0], image.shape[1], pixels.min(), pixels.max()))
 
     # The histogram is exactly scatterAdd(histogram, pixels, 1).
-    run = simulate_scatter_add(pixels, 1.0, num_targets=LEVELS,
-                               config=config)
+    run = Simulation(config).run("scatter_add", pixels, 1.0,
+                                 num_targets=LEVELS)
     histogram = run.result
     assert histogram.sum() == pixels.size
 

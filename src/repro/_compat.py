@@ -1,0 +1,71 @@
+"""Deprecated entry points, funneled through one warning path.
+
+Everything the API redesign retired lives here: the pre-``Simulation``
+``simulate_*`` functions and the ``ScatterAddRun`` alias.  Each shim calls
+:func:`warn_deprecated` — the single place a :class:`DeprecationWarning`
+is raised — so tests can pin the warning behaviour once and callers get a
+consistent message pointing at the replacement.
+
+These shims keep their original signatures and behaviour exactly; they
+forward to :class:`repro.api.Simulation`.  New code should not import from
+this module.
+"""
+
+import warnings
+
+
+def warn_deprecated(name, replacement):
+    """Emit the library's standard deprecation warning for `name`.
+
+    ``stacklevel=3`` attributes the warning to the caller of the shim
+    (one level for this helper, one for the shim itself).
+    """
+    warnings.warn(
+        "%s is deprecated; use %s" % (name, replacement),
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+def simulate_scatter_add(indices, values=1.0, num_targets=None, config=None,
+                         initial=None, chaining=True, base=0):
+    """Deprecated: use ``Simulation(config).run("scatter_add", ...)``."""
+    from repro.api import Simulation
+
+    warn_deprecated(
+        "simulate_scatter_add()",
+        "repro.api.Simulation(config).run('scatter_add', ...)",
+    )
+    sim = Simulation(config, chaining=chaining)
+    return sim.run("scatter_add", indices, values, num_targets=num_targets,
+                   initial=initial, base=base)
+
+
+def simulate_scatter_op(op, indices, values, num_targets=None, config=None,
+                        initial=None, base=0):
+    """Deprecated: use ``Simulation(config).run(op, ...)``."""
+    from repro.api import Simulation, _UFUNC_AT
+
+    warn_deprecated(
+        "simulate_scatter_op()",
+        "repro.api.Simulation(config).run(op, ...)",
+    )
+    if op not in _UFUNC_AT or op == "fetch_add":
+        raise ValueError("unsupported scatter operation %r" % (op,))
+    sim = Simulation(config)
+    return sim.run(op, indices, values, num_targets=num_targets,
+                   initial=initial, base=base)
+
+
+def __getattr__(name):
+    """Resolve the ``ScatterAddRun`` alias lazily (PEP 562).
+
+    The class itself is not deprecated, only the old name; an alias
+    cannot warn on use without also warning every re-export, so the
+    rename is documented rather than warned.  Lazy resolution keeps this
+    module free of a circular top-level import of :mod:`repro.api`.
+    """
+    if name == "ScatterAddRun":
+        from repro.api import ScatterRun
+
+        return ScatterRun
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

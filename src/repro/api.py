@@ -13,9 +13,10 @@ Three layers:
   :class:`ScatterRun` -- result array, timing, statistics, and (when
   requested) an observation with timelines and an event trace ready for
   the :mod:`repro.obs` exporters.
-- **Legacy shims**: :func:`simulate_scatter_add` and
-  :func:`simulate_scatter_op` forward to :class:`Simulation` and emit a
-  :class:`DeprecationWarning`.
+- **Legacy shims**: :func:`simulate_scatter_add`,
+  :func:`simulate_scatter_op` and the ``ScatterAddRun`` alias live in
+  :mod:`repro._compat` (re-exported here unchanged) and emit a
+  :class:`DeprecationWarning` through its single warning path.
 
 Quickstart::
 
@@ -24,13 +25,23 @@ Quickstart::
     sim = Simulation()                       # Table 1 machine
     run = sim.run("scatter_add", [1, 2, 2, 3], 1.0, num_targets=5)
     print(run.result, run.cycles, run.bottlenecks()[0])
+
+:class:`ScatterRun` serializes losslessly (:meth:`ScatterRun.to_dict`,
+:meth:`ScatterRun.save` / :meth:`ScatterRun.load`), which is what the
+``repro.service`` result cache stores, and :class:`Simulation` accepts a
+plain config dict and reports its canonical job spec via
+:meth:`Simulation.describe` — together the machinery behind
+content-addressed job deduplication.
 """
 
-import warnings
+import json
 
 import numpy as np
 
 from repro.config import MachineConfig
+
+#: Version tag of the serialized :class:`ScatterRun` format.
+RUN_SCHEMA = "repro.run/1"
 from repro.node.processor import StreamProcessor
 from repro.node.program import Phase, ScatterAdd, StreamProgram
 from repro.obs.session import Observation
@@ -100,6 +111,12 @@ class ScatterRun:
         self.stats = program_result.stats
         self.mem_refs = program_result.mem_refs
         self.observation = observation
+        # Populated on deserialized runs (see from_dict); live runs read
+        # these from the observation / metric registry instead.
+        self._breakdown = None
+        self._timelines = None
+        self._gauges = None
+        self._histograms = None
 
     def bottlenecks(self, top=None):
         """Components ranked by busy fraction (see ``repro.harness.report``)."""
@@ -116,10 +133,14 @@ class ScatterRun:
         :meth:`repro.obs.tracing.RequestTracer.breakdown`: one row per
         pipeline stage with count, total cycles, mean, p50/p90/p99 and
         share of end-to-end latency; per-stage cycle sums reconcile
-        exactly with measured end-to-end latency.
+        exactly with measured end-to-end latency.  On a deserialized run
+        (:meth:`load` / :meth:`from_dict`) the table captured at
+        serialization time is returned.
         """
         from repro.harness.report import latency_breakdown
 
+        if self._breakdown is not None:
+            return self._breakdown
         if self.observation is None:
             raise ValueError(
                 "run was not request-traced; use "
@@ -144,25 +165,105 @@ class ScatterRun:
         return write_chrome_trace(path, self.observation)
 
     def write_metrics(self, path):
-        """Write the machine-readable metrics.json for this run."""
-        from repro.obs.export import write_metrics
+        """Write the machine-readable metrics.json for this run.
 
-        observation = self.observation
-        if observation is None:
-            observation = Observation()
-            scope = observation.attach(None, self.stats, label="run",
-                                       config=self.config)
-            scope._cycles = self.cycles
-        return write_metrics(path, observation)
+        Instrumented runs (``sample_every`` / ``trace`` / ``trace_requests``)
+        export their full observation.  Otherwise the payload is derived
+        from :meth:`to_dict`, the same serialized form the service result
+        cache stores — so a cached run and the live run it mirrors emit
+        byte-identical metrics.json.
+        """
+        if self.observation is not None:
+            from repro.obs.export import write_metrics
+
+            return write_metrics(path, self.observation)
+        from repro.obs.export import write_run_metrics
+
+        return write_run_metrics(path, self.to_dict())
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self):
+        """Lossless, JSON-serializable form of this run.
+
+        Captures the result array, timing, the full counter bag, typed
+        gauges/histograms, the machine configuration, and — when the run
+        was observed — sampled timelines and the request-latency
+        attribution table.  :meth:`from_dict` restores an equivalent run:
+        ``ScatterRun.from_dict(run.to_dict())`` round-trips exactly
+        (float64 values survive via JSON's repr round-trip).
+        """
+        gauges, histograms = self._gauges, self._histograms
+        if gauges is None:
+            snapshot = self.stats.registry.snapshot()
+            gauges = snapshot["gauges"]
+            histograms = snapshot["histograms"]
+        timelines = self._timelines
+        breakdown = self._breakdown
+        if self.observation is not None:
+            for scope in self.observation.scopes:
+                if timelines is None and scope.sampler is not None:
+                    timelines = {timeline.name: timeline.as_dict()
+                                 for timeline in scope.timelines}
+                if breakdown is None and scope.request_tracer is not None:
+                    breakdown = scope.request_tracer.breakdown()
+        return {
+            "schema": RUN_SCHEMA,
+            "result": [float(value) for value in np.asarray(self.result).ravel()],
+            "cycles": int(self.cycles),
+            "microseconds": float(self.microseconds),
+            "mem_refs": int(self.mem_refs),
+            "stats": self.stats.as_dict(),
+            "gauges": gauges,
+            "histograms": histograms,
+            "config": self.config.to_dict(),
+            "timelines": timelines,
+            "latency_breakdown": breakdown,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a run from :meth:`to_dict` output."""
+        from repro.sim.stats import Stats
+
+        if not isinstance(data, dict) or data.get("schema") != RUN_SCHEMA:
+            raise ValueError("not a serialized ScatterRun (schema %r != %r)"
+                             % (data.get("schema") if isinstance(data, dict)
+                                else type(data).__name__, RUN_SCHEMA))
+        run = cls.__new__(cls)
+        run.result = np.asarray(data["result"], dtype=np.float64)
+        run.config = MachineConfig.from_dict(data["config"])
+        run.cycles = int(data["cycles"])
+        run.microseconds = float(data["microseconds"])
+        run.mem_refs = int(data["mem_refs"])
+        run.stats = Stats()
+        for name, value in data["stats"].items():
+            run.stats.set(name, value)
+        run.observation = None
+        run._breakdown = data.get("latency_breakdown")
+        run._timelines = data.get("timelines")
+        run._gauges = data.get("gauges") or {}
+        run._histograms = data.get("histograms") or {}
+        return run
+
+    def save(self, path):
+        """Write the serialized run (:meth:`to_dict`) as JSON to `path`."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path):
+        """Read a run written by :meth:`save`; exact round-trip."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
 
     def __repr__(self):
         return "ScatterRun(%d cycles, %.3f us)" % (
             self.cycles, self.microseconds,
         )
-
-
-#: Backwards-compatible alias (pre-redesign name).
-ScatterAddRun = ScatterRun
 
 
 class Simulation:
@@ -171,7 +272,8 @@ class Simulation:
     Parameters
     ----------
     config:
-        :class:`~repro.config.MachineConfig`; defaults to Table 1.
+        :class:`~repro.config.MachineConfig` or a plain dict of its
+        fields (see :meth:`MachineConfig.from_dict`); defaults to Table 1.
     chaining:
         Combining-store chaining (ablation handle; the hardware has it on).
     sample_every:
@@ -200,7 +302,11 @@ class Simulation:
     def __init__(self, config=None, *, chaining=True, sample_every=0,
                  trace=False, trace_capacity=100_000, trace_requests=0,
                  engine=None):
-        self.config = config if config is not None else MachineConfig.table1()
+        if config is None:
+            config = MachineConfig.table1()
+        elif isinstance(config, dict):
+            config = MachineConfig.from_dict(config)
+        self.config = config
         self.chaining = chaining
         self.sample_every = sample_every
         self.trace = trace
@@ -265,39 +371,42 @@ class Simulation:
         result = processor.read_result(base, num_targets)
         return ScatterRun(result, program_result, observation=observation)
 
+    def describe(self):
+        """The canonical job spec of this simulation.
+
+        A plain, JSON-serializable dict naming everything that determines
+        what a :meth:`run` produces and how it is executed: the full
+        configuration (plus its :meth:`~repro.config.MachineConfig.canonical_hash`),
+        the chaining knob, the *resolved* scheduler engine (``engine=None``
+        resolves against the process default, so two processes under
+        different ``REPRO_SCHEDULER`` settings describe themselves
+        differently), and the observation knobs that change the payload a
+        run carries (``sample_every``, ``trace_requests``).  This is the
+        "sim" section of the ``repro.service`` wire schema and part of its
+        content-addressed cache key.
+        """
+        from repro.sim import engine as _engine
+
+        return {
+            "config": self.config.to_dict(),
+            "config_hash": self.config.canonical_hash(),
+            "chaining": bool(self.chaining),
+            "engine": self.engine if self.engine is not None
+            else _engine.DEFAULT_SCHEDULER,
+            "sample_every": int(self.sample_every),
+            "trace_requests": int(self.trace_requests),
+        }
+
     def __repr__(self):
         return "Simulation(%r, chaining=%r)" % (self.config, self.chaining)
 
 
-def simulate_scatter_add(indices, values=1.0, num_targets=None, config=None,
-                         initial=None, chaining=True, base=0):
-    """Deprecated: use ``Simulation(config).run("scatter_add", ...)``.
+# Deprecated entry points (simulate_scatter_add, simulate_scatter_op,
+# ScatterAddRun) live in repro._compat; re-exported here because this
+# module is their historical home.  The import sits at the bottom since
+# the shims build on Simulation.
+from repro import _compat as _compat  # noqa: E402
 
-    Kept as a thin shim with the original signature and behaviour.
-    """
-    warnings.warn(
-        "simulate_scatter_add() is deprecated; use "
-        "repro.api.Simulation(config).run('scatter_add', ...)",
-        DeprecationWarning, stacklevel=2,
-    )
-    sim = Simulation(config, chaining=chaining)
-    return sim.run("scatter_add", indices, values, num_targets=num_targets,
-                   initial=initial, base=base)
-
-
-def simulate_scatter_op(op, indices, values, num_targets=None, config=None,
-                        initial=None, base=0):
-    """Deprecated: use ``Simulation(config).run(op, ...)``.
-
-    Kept as a thin shim with the original signature and behaviour.
-    """
-    warnings.warn(
-        "simulate_scatter_op() is deprecated; use "
-        "repro.api.Simulation(config).run(op, ...)",
-        DeprecationWarning, stacklevel=2,
-    )
-    if op not in _UFUNC_AT or op == "fetch_add":
-        raise ValueError("unsupported scatter operation %r" % (op,))
-    sim = Simulation(config)
-    return sim.run(op, indices, values, num_targets=num_targets,
-                   initial=initial, base=base)
+simulate_scatter_add = _compat.simulate_scatter_add
+simulate_scatter_op = _compat.simulate_scatter_op
+ScatterAddRun = _compat.ScatterAddRun

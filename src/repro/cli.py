@@ -10,6 +10,9 @@ Usage::
     python -m repro bench --smoke --out results/engine_bench.json
     python -m repro bench --smoke --check benchmarks/baseline.json
     python -m repro area --units 8 --entries 8
+    python -m repro serve --port 8642 --cache-dir ~/.cache/repro
+    python -m repro submit --updates 4096 --range 2048
+    python -m repro submit --spec job.json --server http://host:8642
 
 ``run`` regenerates a paper experiment and prints its table; ``simulate``
 times a single scatter-add with the chosen implementation
@@ -18,7 +21,10 @@ latency breakdown); ``bench`` compares the event and legacy simulation
 schedulers on fixed workloads (asserting identical cycle counts) and
 writes a JSON report (``--check BASELINE`` fails on cycle-count drift
 beyond 25% or wall-time regression beyond 2x); ``area`` prints the
-die-area estimate.
+die-area estimate; ``serve`` runs the simulation-as-a-service daemon
+(async job server + content-addressed result cache, see
+``repro.service``); ``submit`` sends a job to a running daemon and
+prints the JSON response.
 """
 
 import argparse
@@ -341,6 +347,75 @@ def _cmd_bench(args):
     return 0
 
 
+def _cmd_serve(args):
+    import asyncio
+
+    from repro.service.server import serve
+
+    try:
+        asyncio.run(serve(args.host, args.port, args.cache_dir,
+                          workers=args.workers, retries=args.retries))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _submit_job_spec(args):
+    """Build the job spec from --spec FILE or the simulate-style flags."""
+    import json
+
+    if args.spec:
+        with open(args.spec) as handle:
+            return json.load(handle)
+    rng = np.random.default_rng(args.seed)
+    spec = {
+        "type": "run",
+        "op": args.op,
+        "indices": [int(i) for i in rng.integers(0, args.range,
+                                                 size=args.updates)],
+        "values": 1.0,
+        "num_targets": args.range,
+        "sim": {},
+    }
+    if args.engine:
+        spec["sim"]["engine"] = args.engine
+    if args.sample_every:
+        spec["sim"]["sample_every"] = args.sample_every
+    if args.trace_requests:
+        spec["sim"]["trace_requests"] = args.trace_requests
+    return spec
+
+
+def _cmd_submit(args):
+    import json
+
+    from repro.service.client import Client, ServiceError
+
+    client = Client(args.server)
+    spec = _submit_job_spec(args)
+    try:
+        response = client.submit(spec, wait=not args.no_wait)
+    except ServiceError as exc:
+        print("submit failed: %s" % exc, file=sys.stderr)
+        return 1
+    if args.summary and response.get("status") == "done":
+        result = response.get("result", {})
+        if result.get("kind") == "run":
+            run = result["run"]
+            print("job %s  key %s…  %s" % (
+                response["id"], response["key"][:12],
+                "cache HIT" if response["cached"] else "simulated"))
+            print("  cycles: %d  (%.3f us)  mem_refs: %d"
+                  % (run["cycles"], run["microseconds"], run["mem_refs"]))
+        else:
+            print("job %s  %s over %d points (%d cached)" % (
+                response["id"], result.get("kind"), result.get("points", 0),
+                result.get("points_cached", 0)))
+        return 0
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_area(args):
     model = AreaModel(units=args.units,
                       combining_store_entries=args.entries)
@@ -438,6 +513,47 @@ def build_parser():
     area.add_argument("--units", type=int, default=8)
     area.add_argument("--entries", type=int, default=8)
 
+    serve = commands.add_parser(
+        "serve", help="run the simulation-as-a-service daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--cache-dir", default="results/service-cache",
+                       help="content-addressed result cache directory")
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="persistent simulation worker processes (default: CPU "
+             "count; 0 runs jobs in-process)")
+    serve.add_argument(
+        "--retries", type=int, default=1,
+        help="per-point resubmissions tolerated when a worker dies")
+
+    submit = commands.add_parser(
+        "submit", help="submit a job to a running daemon")
+    submit.add_argument("--server", default="http://127.0.0.1:8642")
+    submit.add_argument("--spec", default=None, metavar="FILE",
+                        help="JSON job spec (overrides the flags below)")
+    submit.add_argument("--op", default="scatter_add",
+                        choices=("scatter_add", "scatter_min",
+                                 "scatter_max", "scatter_mul", "fetch_add"))
+    submit.add_argument("--updates", type=int, default=4096)
+    submit.add_argument("--range", type=int, default=2048)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--engine", default=None,
+                        choices=("event", "columnar", "legacy"))
+    submit.add_argument("--sample-every", type=int, default=0, metavar="N",
+                        help="sample timelines every N cycles (the obs "
+                             "windows stream on the job's events feed)")
+    submit.add_argument("--trace-requests", type=int, default=0,
+                        metavar="N",
+                        help="request-trace 1 in N requests; the latency "
+                             "breakdown rides along in the cached payload")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return immediately with the job id instead "
+                             "of waiting for the result")
+    submit.add_argument("--summary", action="store_true",
+                        help="print a one-line summary instead of the "
+                             "full JSON response")
+
     compare = commands.add_parser(
         "compare", help="measured vs the paper's published numbers")
     compare.add_argument("experiment",
@@ -453,6 +569,8 @@ def main(argv=None):
         "simulate": _cmd_simulate,
         "bench": _cmd_bench,
         "area": _cmd_area,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "compare": _cmd_compare,
     }[args.command]
     return handler(args)

@@ -11,10 +11,19 @@ converted to words/cycle here; a *word* is 8 bytes (the 64-bit data type of
 the Merrimac scatter-add unit).
 """
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
 
 #: Bytes per machine word (64-bit floating point / integer).
 WORD_BYTES = 8
+
+#: Version tag baked into every canonical config hash.  Bump it whenever a
+#: field is added, removed or changes meaning, so hashes from different
+#: schema generations can never collide — a cache keyed on
+#: :meth:`MachineConfig.canonical_hash` is invalidated wholesale instead of
+#: silently serving results computed under other semantics.
+CONFIG_SCHEMA = "repro.config/1"
 
 
 @dataclass(frozen=True)
@@ -174,6 +183,46 @@ class MachineConfig:
     def with_changes(self, **changes):
         """Return a copy with the given fields replaced (and re-validated)."""
         return replace(self, **changes)
+
+    # --- serialization -------------------------------------------------------
+    def to_dict(self):
+        """Every field as a plain, JSON-serializable dict (sorted keys)."""
+        return {field.name: getattr(self, field.name)
+                for field in sorted(fields(self), key=lambda f: f.name)}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a config from :meth:`to_dict` output (re-validated).
+
+        Missing fields take their defaults, so a dict serialized before a
+        field existed still loads; unknown keys are rejected loudly rather
+        than silently dropped (a typo'd field name must not hash to the
+        base configuration).
+        """
+        if not isinstance(data, dict):
+            raise TypeError("MachineConfig.from_dict wants a dict, got %s"
+                            % type(data).__name__)
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError("unknown MachineConfig field(s): %s"
+                             % ", ".join(unknown))
+        return cls(**data)
+
+    def canonical_hash(self):
+        """Stable content hash of this configuration.
+
+        SHA-256 over the version-tagged canonical JSON form (sorted keys,
+        explicit value for every field).  Two configs hash identically iff
+        every field value matches — however they were constructed (kwargs,
+        :meth:`from_dict`, :meth:`with_changes`) and whether a value was
+        passed explicitly or defaulted.  Because defaults are expanded
+        before hashing, editing a field *default* in code only changes the
+        hashes of configs that actually carry the new value.
+        """
+        payload = json.dumps({"schema": CONFIG_SCHEMA, "config": self.to_dict()},
+                             sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # --- presets used by the experiments ------------------------------------
     @classmethod

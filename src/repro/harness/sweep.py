@@ -8,15 +8,15 @@ fields to vary and a measurement function, and they return an
 the tool behind ``examples/design_space.py`` and quick what-if studies.
 
 Design points are independent simulations, so both helpers accept
-``workers=N`` to farm them out over a process pool.  Results are
-deterministic: rows always come back in the same order as ``workers=1``,
-and each worker runs an identical, isolated simulation (the ``measure``
-callable and the configs must be picklable -- module-level functions, not
-closures or lambdas).
+``workers=N`` to farm them out over the persistent fork executor of
+:mod:`repro.service.pool` (per-point retry when a worker dies).  Results
+are deterministic: rows always come back in the same order as
+``workers=1``, and each worker runs an identical, isolated simulation
+(the ``measure`` callable and the configs must be picklable --
+module-level functions, not closures or lambdas).
 """
 
 import itertools
-import multiprocessing
 
 from repro.harness.report import ExperimentResult
 
@@ -27,20 +27,28 @@ def _measure_one(task):
     return measure(config)
 
 
-def _run_points(measure, configs, workers):
+def _run_points(measure, configs, workers, executor=None):
     """Measure every config, optionally across a process pool.
 
-    Returns outcomes in the order of `configs` regardless of worker count
-    (``Pool.map`` preserves input order).
+    With `executor` (a :class:`repro.service.pool.ForkExecutor` built
+    over :func:`_measure_one`) the points run on that shared pool — how
+    the service daemon shards sweep jobs without forking per call.
+    Otherwise ``workers=N`` builds a temporary pool.  Futures are awaited
+    in submission order, so outcomes match the ``workers=1`` row order.
     """
+    if executor is not None:
+        futures = executor.map([(measure, config) for config in configs])
+        return [future.result() for future in futures]
     if workers in (None, 0, 1) or len(configs) <= 1:
         return [measure(config) for config in configs]
-    tasks = [(measure, config) for config in configs]
     # Fork keeps the measure function usable without requiring it to be
     # importable under "spawn" re-import semantics on every platform.
-    context = multiprocessing.get_context("fork")
-    with context.Pool(min(workers, len(configs))) as pool:
-        return pool.map(_measure_one, tasks)
+    from repro.service.pool import ForkExecutor
+
+    with ForkExecutor(_measure_one,
+                      workers=min(workers, len(configs))) as pool:
+        futures = pool.map([(measure, config) for config in configs])
+        return [future.result() for future in futures]
 
 
 def _assemble(points, outcomes, columns):
@@ -56,7 +64,7 @@ def _assemble(points, outcomes, columns):
 
 
 def sweep(base_config, field, values, measure, exp_id="sweep", title=None,
-          workers=None):
+          workers=None, executor=None):
     """Vary one configuration field; measure each design point.
 
     Parameters
@@ -73,12 +81,16 @@ def sweep(base_config, field, values, measure, exp_id="sweep", title=None,
     workers:
         Process count for parallel measurement; ``None``/``0``/``1`` run
         in-process.  Row order is identical either way.
+    executor:
+        An existing :class:`repro.service.pool.ForkExecutor` (built over
+        ``_measure_one``) to shard the points on, instead of a pool of
+        this call's own; takes precedence over `workers`.
     """
     values = list(values)
     points = [{field: value} for value in values]
     configs = [base_config.with_changes(**{field: value})
                for value in values]
-    outcomes = _run_points(measure, configs, workers)
+    outcomes = _run_points(measure, configs, workers, executor=executor)
     columns = [field]
     rows = _assemble(points, outcomes, columns)
     return ExperimentResult(
@@ -87,12 +99,13 @@ def sweep(base_config, field, values, measure, exp_id="sweep", title=None,
 
 
 def grid_sweep(base_config, fields, measure, exp_id="grid_sweep",
-               title=None, workers=None):
+               title=None, workers=None, executor=None):
     """Cartesian-product sweep over several configuration fields.
 
     `fields` maps field names to value iterables.  Rows appear in
-    row-major order of the given field order; ``workers`` parallelises the
-    measurements without changing that order.
+    row-major order of the given field order; ``workers`` (or a shared
+    `executor`) parallelises the measurements without changing that
+    order.
     """
     names = list(fields)
     points = [
@@ -102,7 +115,7 @@ def grid_sweep(base_config, fields, measure, exp_id="grid_sweep",
         )
     ]
     configs = [base_config.with_changes(**point) for point in points]
-    outcomes = _run_points(measure, configs, workers)
+    outcomes = _run_points(measure, configs, workers, executor=executor)
     columns = list(names)
     rows = _assemble(points, outcomes, columns)
     return ExperimentResult(

@@ -237,6 +237,50 @@ def write_metrics(path, observation):
     return payload
 
 
+def run_metrics_payload(run_dict):
+    """Build the ``metrics.json`` payload from a serialized ScatterRun.
+
+    `run_dict` is :meth:`repro.api.ScatterRun.to_dict` output — the form
+    the service result cache stores.  Producing metrics from that form
+    (rather than from live simulator objects) is what makes a cache hit's
+    metrics.json byte-identical to the live run that populated the entry.
+    The payload matches :func:`metrics_payload` for a single detached
+    scope labelled ``"run"``.
+    """
+    from repro.config import MachineConfig
+    from repro.harness.report import bottlenecks
+
+    counters = run_dict["stats"]
+    cycles = run_dict["cycles"]
+    config = MachineConfig.from_dict(run_dict["config"])
+    entry = {
+        "label": "run",
+        "cycles": cycles,
+        "counters": dict(counters),
+        "gauges": run_dict.get("gauges") or {},
+        "histograms": run_dict.get("histograms") or {},
+        "timelines": run_dict.get("timelines") or {},
+        "bottlenecks": bottlenecks(counters, cycles, config=config),
+    }
+    if run_dict.get("latency_breakdown") is not None:
+        entry["latency_breakdown"] = run_dict["latency_breakdown"]
+    return {
+        "schema": METRICS_SCHEMA,
+        "sample_every": 0,
+        "trace_requests": 0,
+        "scopes": [entry],
+    }
+
+
+def write_run_metrics(path, run_dict):
+    """Write ``metrics.json`` for a serialized run; returns the payload."""
+    payload = run_metrics_payload(run_dict)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
 def validate_metrics(payload):
     """Raise ``ValueError`` unless `payload` is a well-formed metrics dump."""
     if not isinstance(payload, dict):

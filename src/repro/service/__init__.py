@@ -1,0 +1,43 @@
+"""Simulation-as-a-service: async job server + content-addressed cache.
+
+The paper's results are consumed as repeated figure/ablation configs, so
+the overwhelmingly common request is a re-run of a configuration someone
+already simulated.  This package turns that traffic shape into O(1) work:
+
+- :mod:`repro.service.schema` — the wire schema: job specs canonicalized
+  to a stable, version-tagged content hash (the cache key).
+- :mod:`repro.service.cache` — content-addressed on-disk result cache
+  storing the full serialized :class:`~repro.api.ScatterRun`, so a hit is
+  byte-identical to a miss.
+- :mod:`repro.service.pool` — persistent fork-based worker pool with
+  per-task retry on worker death (the reusable executor behind
+  ``harness.sweep(workers=)`` and the server).
+- :mod:`repro.service.store` — in-memory job store: dedup of in-flight
+  jobs by content hash, per-job progress events.
+- :mod:`repro.service.server` — the asyncio HTTP/JSON daemon
+  (``repro serve``).
+- :mod:`repro.service.client` — the blocking thin client
+  (``repro submit`` / :class:`~repro.service.client.Client`).
+
+Quickstart::
+
+    $ repro serve --port 8642 --cache-dir ~/.cache/repro &
+    $ repro submit --updates 4096 --range 2048        # simulates
+    $ repro submit --updates 4096 --range 2048        # cache hit, O(1)
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import Client
+from repro.service.pool import ForkExecutor, WorkerDied
+from repro.service.schema import JOB_SCHEMA, JobError, canonical_job, job_key
+
+__all__ = [
+    "Client",
+    "ForkExecutor",
+    "JOB_SCHEMA",
+    "JobError",
+    "ResultCache",
+    "WorkerDied",
+    "canonical_job",
+    "job_key",
+]

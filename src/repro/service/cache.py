@@ -1,0 +1,118 @@
+"""Content-addressed on-disk result cache.
+
+Entries are keyed by :func:`repro.service.schema.job_key` and stored as
+JSON under a two-level fan-out directory (``<root>/<key[:2]>/<key>.json``
+— the git-object layout, keeping directories small at millions of
+entries).  Each entry records the schema tag, its own key, the canonical
+job that produced it and the result payload; :meth:`ResultCache.get`
+re-checks all three, so a corrupt, truncated or misfiled entry is
+*detected, quarantined and recomputed* rather than served.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+a crashed writer can never leave a half-entry that later reads as a hit,
+and concurrent writers of the same key settle on one complete entry.
+"""
+
+import json
+import os
+import tempfile
+
+#: Version tag of the on-disk entry format.
+CACHE_SCHEMA = "repro.cache-entry/1"
+
+
+class ResultCache:
+    """Content-addressed store of job results.
+
+    Counters (``hits`` / ``misses`` / ``corrupt``) tally every lookup for
+    the server's ``/v1/stats`` endpoint.
+    """
+
+    def __init__(self, root):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------ #
+    def path(self, key):
+        """On-disk location of `key` (two-level hex fan-out)."""
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key):
+        """The payload stored under `key`, or ``None`` on miss.
+
+        Any malformed entry — unparseable JSON, wrong schema tag, a key
+        field that disagrees with the file's address, or a missing
+        payload — counts as corrupt: the file is deleted so the caller
+        recomputes and rewrites it.
+        """
+        path = self.path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("schema") != CACHE_SCHEMA
+                or entry.get("key") != key
+                or not isinstance(entry.get("payload"), dict)):
+            self._quarantine(path)
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, key, job, payload):
+        """Atomically store `payload` (with its canonical `job`) under `key`."""
+        path = self.path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "key": key, "job": job,
+                 "payload": payload}
+        descriptor, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-" + key[:8] + "-")
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def _quarantine(self, path):
+        """Drop a malformed entry so the next writer replaces it."""
+        self.corrupt += 1
+        self.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, key):
+        return os.path.exists(self.path(key))
+
+    def __len__(self):
+        count = 0
+        for _, __, files in os.walk(self.root):
+            count += sum(1 for name in files if name.endswith(".json"))
+        return count
+
+    def stats(self):
+        """Lookup counters as a plain dict."""
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt}
+
+    def __repr__(self):
+        return "ResultCache(%r, %d hits, %d misses)" % (
+            self.root, self.hits, self.misses)

@@ -1,0 +1,131 @@
+"""Thin blocking client for the ``repro serve`` daemon.
+
+Wraps the ``/v1`` HTTP/JSON API in plain ``http.client`` calls — no
+third-party dependency, safe to use from scripts, tests and the
+``repro submit`` CLI.  One connection per request (the server speaks
+``Connection: close``), so a :class:`Client` is stateless and cheap.
+
+    client = Client("http://127.0.0.1:8642")
+    response = client.submit({"op": "scatter_add",
+                              "indices": [1, 2, 2, 3],
+                              "num_targets": 5})
+    run = response["result"]["run"]            # serialized ScatterRun
+    again = client.submit({...same spec...})
+    assert again["cached"]                     # O(1), no simulation
+"""
+
+import http.client
+import json
+import socket
+import time
+import urllib.parse
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status, payload):
+        self.status = status
+        self.payload = payload
+        super().__init__("HTTP %d: %s" % (status, payload.get("error",
+                                                              payload)))
+
+
+class Client:
+    """Blocking client for one service endpoint."""
+
+    def __init__(self, base_url="http://127.0.0.1:8642", timeout=300.0):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError("only http:// endpoints are supported")
+        netloc = parsed.netloc or parsed.path
+        self.host = netloc.split(":")[0] or "127.0.0.1"
+        self.port = int(netloc.split(":")[1]) if ":" in netloc else 8642
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(self, method, path, body=None):
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+            if response.status >= 400:
+                raise ServiceError(response.status, data)
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------ #
+    def healthz(self):
+        return self._request("GET", "/v1/healthz")
+
+    def wait_ready(self, timeout=30.0, interval=0.1):
+        """Poll ``/v1/healthz`` until the daemon answers (or time out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, socket.timeout, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        "service at %s:%d not ready after %.1fs"
+                        % (self.host, self.port, timeout))
+                time.sleep(interval)
+
+    def stats(self):
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, job, wait=True):
+        """Submit a job spec; with `wait` the response carries the result."""
+        return self._request("POST", "/v1/jobs",
+                             {"job": job, "wait": wait})
+
+    def status(self, job_id):
+        return self._request("GET", "/v1/jobs/%s" % job_id)
+
+    def result(self, job_id):
+        return self._request("GET", "/v1/jobs/%s/result" % job_id)
+
+    def cache_entry(self, key):
+        """The raw cached payload for a content hash."""
+        return self._request("GET", "/v1/cache/%s" % key)
+
+    def events(self, job_id):
+        """Iterate the job's NDJSON event stream until it completes."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request("GET", "/v1/jobs/%s/events" % job_id)
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   json.loads(response.read() or b"{}"))
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def run(self, job):
+        """Submit and return the deserialized :class:`~repro.api.ScatterRun`.
+
+        Convenience for single-run jobs: blocks until done, then rebuilds
+        the run object from the wire payload (cached and fresh results
+        deserialize identically).
+        """
+        from repro.api import ScatterRun
+
+        response = self.submit(job, wait=True)
+        if response["status"] != "done":
+            raise ServiceError(500, {"error": response.get("error",
+                                                           "job failed")})
+        return ScatterRun.from_dict(response["result"]["run"])
+
+    def __repr__(self):
+        return "Client(http://%s:%d)" % (self.host, self.port)

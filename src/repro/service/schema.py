@@ -1,0 +1,266 @@
+"""Service wire schema: canonical job specs and content hashing.
+
+A *job* is a plain JSON object describing one simulation (``type:
+"run"``), a one-field sweep (``"sweep"``) or a cartesian grid sweep
+(``"grid_sweep"``).  :func:`canonical_job` validates a spec and rewrites
+it into canonical form — defaults expanded, arrays normalised, the
+machine config serialized field-by-field, the scheduler engine resolved —
+so that every spelling of the same work produces the same bytes.
+:func:`job_key` hashes that canonical form (version-tagged SHA-256),
+giving the content address under which the result cache stores the run.
+
+Two specs share a key iff they request identical work: same operation and
+operand arrays, same resolved configuration, same chaining knob and same
+engine.  The engine is deliberately part of the key even though all
+engines produce bit-identical results — wall time is part of what the
+service measures, and an entry must record which engine produced it.
+
+Single-run canonical form::
+
+    {"type": "run", "op": "scatter_add", "indices": [...], "values": 1.0,
+     "num_targets": 2048, "initial": null, "base": 0,
+     "sim": {"config": {...}, "chaining": true, "engine": "event",
+             "sample_every": 0, "trace_requests": 0}}
+
+Sweeps carry the same ``run`` body plus ``field``/``points`` (sweep) or
+``fields`` (grid_sweep); :func:`point_jobs` expands them into the
+canonical single-run jobs the server shards across its worker pool, each
+cacheable under its own key.
+"""
+
+import hashlib
+import json
+
+from repro.config import MachineConfig
+
+#: Version tag baked into every job hash; bump on wire-schema changes.
+JOB_SCHEMA = "repro.job/1"
+
+#: Operations a job may request (mirrors ``Simulation._OPS``).
+OPS = ("scatter_add", "scatter_min", "scatter_max", "scatter_mul",
+       "fetch_add")
+
+JOB_TYPES = ("run", "sweep", "grid_sweep")
+
+
+class JobError(ValueError):
+    """A job spec failed validation (maps to HTTP 400)."""
+
+
+def _fail(message):
+    raise JobError(message)
+
+
+def _as_int_list(value, what):
+    try:
+        return [int(item) for item in value]
+    except (TypeError, ValueError):
+        _fail("%s must be an array of integers" % what)
+
+
+def _as_float_list(value, what):
+    try:
+        return [float(item) for item in value]
+    except (TypeError, ValueError):
+        _fail("%s must be an array of numbers" % what)
+
+
+def _canonical_sim(spec):
+    """Normalise the ``sim`` section (config, chaining, engine, obs knobs)."""
+    from repro.sim.engine import SCHEDULERS
+    from repro.sim import engine as _engine
+
+    sim = spec.get("sim") or {}
+    if not isinstance(sim, dict):
+        _fail("'sim' must be an object")
+    unknown = sorted(set(sim) - {"config", "chaining", "engine",
+                                 "sample_every", "trace_requests"})
+    if unknown:
+        _fail("unknown sim field(s): %s" % ", ".join(unknown))
+    config = sim.get("config")
+    try:
+        if config is None:
+            config = MachineConfig.table1()
+        elif isinstance(config, dict):
+            config = MachineConfig.from_dict(config)
+        elif not isinstance(config, MachineConfig):
+            _fail("sim.config must be an object of MachineConfig fields")
+    except (TypeError, ValueError) as exc:
+        _fail("invalid sim.config: %s" % exc)
+    engine = sim.get("engine")
+    if engine is None:
+        engine = _engine.DEFAULT_SCHEDULER
+    if engine not in SCHEDULERS:
+        _fail("unknown engine %r; expected one of %s"
+              % (engine, ", ".join(SCHEDULERS)))
+    sample_every = int(sim.get("sample_every") or 0)
+    trace_requests = int(sim.get("trace_requests") or 0)
+    if sample_every < 0 or trace_requests < 0:
+        _fail("sample_every / trace_requests must be >= 0")
+    return {
+        "config": config.to_dict(),
+        "chaining": bool(sim.get("chaining", True)),
+        "engine": engine,
+        "sample_every": sample_every,
+        "trace_requests": trace_requests,
+    }
+
+
+def _canonical_run_body(spec):
+    """Normalise the operation body shared by every job type."""
+    op = spec.get("op", "scatter_add")
+    if op not in OPS:
+        _fail("unknown op %r; expected one of %s" % (op, ", ".join(OPS)))
+    if "indices" not in spec:
+        _fail("job lacks 'indices'")
+    indices = _as_int_list(spec["indices"], "indices")
+    values = spec.get("values", 1.0)
+    if isinstance(values, (int, float)) and not isinstance(values, bool):
+        values = float(values)
+    else:
+        values = _as_float_list(values, "values")
+        if len(values) != len(indices):
+            _fail("values length %d != indices length %d"
+                  % (len(values), len(indices)))
+    num_targets = spec.get("num_targets")
+    if num_targets is None:
+        num_targets = max(indices) + 1 if indices else 0
+    num_targets = int(num_targets)
+    if indices and (min(indices) < 0 or max(indices) >= num_targets):
+        _fail("index array out of range: [%d, %d] vs target length %d"
+              % (min(indices), max(indices), num_targets))
+    initial = spec.get("initial")
+    if initial is not None:
+        initial = _as_float_list(initial, "initial")
+    return {
+        "op": op,
+        "indices": indices,
+        "values": values,
+        "num_targets": num_targets,
+        "initial": initial,
+        "base": int(spec.get("base", 0)),
+    }
+
+
+def canonical_job(spec):
+    """Validate `spec` and return its canonical form (raises JobError)."""
+    if not isinstance(spec, dict):
+        _fail("job spec must be a JSON object")
+    job_type = spec.get("type", "run")
+    if job_type not in JOB_TYPES:
+        _fail("unknown job type %r; expected one of %s"
+              % (job_type, ", ".join(JOB_TYPES)))
+    known = {"type", "op", "indices", "values", "num_targets", "initial",
+             "base", "sim"}
+    if job_type == "sweep":
+        known |= {"field", "points"}
+    elif job_type == "grid_sweep":
+        known |= {"fields"}
+    unknown = sorted(set(spec) - known)
+    if unknown:
+        _fail("unknown job field(s) for type %r: %s"
+              % (job_type, ", ".join(unknown)))
+    job = {"type": job_type}
+    job.update(_canonical_run_body(spec))
+    job["sim"] = _canonical_sim(spec)
+    base_config = MachineConfig.from_dict(job["sim"]["config"])
+    if job_type == "sweep":
+        field = spec.get("field")
+        points = spec.get("points")
+        if not isinstance(field, str) or not field:
+            _fail("sweep job lacks a 'field' name")
+        if not isinstance(points, (list, tuple)) or not points:
+            _fail("sweep job lacks a non-empty 'points' array")
+        _check_sweep_values(base_config, [{field: value} for value in points])
+        job["field"] = field
+        job["points"] = list(points)
+    elif job_type == "grid_sweep":
+        fields = spec.get("fields")
+        if not isinstance(fields, dict) or not fields:
+            _fail("grid_sweep job lacks a non-empty 'fields' object")
+        overrides = [dict(zip(fields, combo))
+                     for combo in _product(fields.values())]
+        _check_sweep_values(base_config, overrides)
+        job["fields"] = {name: list(values)
+                         for name, values in fields.items()}
+    return job
+
+
+def _product(value_lists):
+    import itertools
+
+    return itertools.product(*[list(values) for values in value_lists])
+
+
+def _check_sweep_values(base_config, overrides):
+    """Every design point must produce a valid MachineConfig."""
+    for override in overrides:
+        try:
+            base_config.with_changes(**override)
+        except (TypeError, ValueError) as exc:
+            _fail("invalid design point %r: %s" % (override, exc))
+
+
+def job_key(job):
+    """Content hash of a canonical job (version-tagged SHA-256 hex)."""
+    payload = json.dumps({"schema": JOB_SCHEMA, "job": job},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def point_jobs(job):
+    """Expand a sweep/grid_sweep into canonical single-run point jobs.
+
+    Returns ``(overrides, jobs)``: the per-point config overrides (in the
+    deterministic order :func:`repro.harness.sweep.grid_sweep` uses) and
+    the matching canonical ``run`` jobs, each hashable with
+    :func:`job_key` — so a sweep shards into independently cacheable
+    points.
+    """
+    if job["type"] == "run":
+        return [{}], [job]
+    if job["type"] == "sweep":
+        overrides = [{job["field"]: value} for value in job["points"]]
+    else:
+        overrides = [dict(zip(job["fields"], combo))
+                     for combo in _product(job["fields"].values())]
+    base_config = MachineConfig.from_dict(job["sim"]["config"])
+    jobs = []
+    for override in overrides:
+        point = {key: job[key] for key in
+                 ("op", "indices", "values", "num_targets", "initial",
+                  "base")}
+        point["type"] = "run"
+        sim = dict(job["sim"])
+        sim["config"] = base_config.with_changes(**override).to_dict()
+        point["sim"] = sim
+        jobs.append(point)
+    return overrides, jobs
+
+
+def execute_job(job):
+    """Run one canonical single-run job; returns the serialized run.
+
+    Module-level and picklable: this is the function the service's
+    persistent fork pool applies to every sharded point.  The payload is
+    :meth:`repro.api.ScatterRun.to_dict` — exactly what the result cache
+    stores, so a cache hit is byte-identical to the miss that filled it.
+    """
+    from repro.api import Simulation
+
+    if job.get("type") != "run":
+        raise JobError("execute_job wants a canonical single-run job")
+    sim = job["sim"]
+    simulation = Simulation(
+        sim["config"],
+        chaining=sim["chaining"],
+        sample_every=sim["sample_every"],
+        trace_requests=sim["trace_requests"],
+        engine=sim["engine"],
+    )
+    run = simulation.run(
+        job["op"], job["indices"], job["values"],
+        num_targets=job["num_targets"], initial=job["initial"],
+        base=job["base"],
+    )
+    return run.to_dict()

@@ -1,0 +1,149 @@
+"""End-to-end service smoke test (the CI ``service-smoke`` job).
+
+Boots the real daemon as a subprocess, submits the same Figure 11 job
+twice, and asserts the service contract the cache exists to provide:
+
+1. the first submission simulates (``simulations`` moves to 1 and
+   ``simulated_cycles`` advances by exactly the run's cycle count);
+2. the second submission is answered from the content-addressed cache —
+   ``cached: true``, *zero* additional simulations, and a result payload
+   byte-identical to the first (canonical JSON compare);
+3. a third submission through a fresh daemon on the same cache directory
+   still hits, proving the entry is durable on disk, not process memory.
+
+Run it directly (any engine the simulator supports)::
+
+    python -m repro.service.smoke --engine event
+"""
+
+import argparse
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.service.client import Client
+
+
+def fig11_job(engine=None):
+    """The bench suite's fig11_latency256 case as a service job spec."""
+    rng = np.random.default_rng(0)
+    job = {
+        "type": "run",
+        "op": "scatter_add",
+        "indices": [int(i) for i in rng.integers(0, 65536, size=512)],
+        "values": 1.0,
+        "num_targets": 65536,
+        "sim": {"config": MachineConfig.uniform(latency=256,
+                                                interval=2).to_dict()},
+    }
+    if engine:
+        job["sim"]["engine"] = engine
+    return job
+
+
+def _free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _start_daemon(port, cache_dir, workers):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", str(port), "--cache-dir", cache_dir,
+         "--workers", str(workers)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    client = Client("http://127.0.0.1:%d" % port)
+    try:
+        client.wait_ready(timeout=60)
+    except TimeoutError:
+        process.send_signal(signal.SIGTERM)
+        output = process.communicate(timeout=10)[0]
+        raise SystemExit("daemon never became ready; output:\n%s"
+                         % output.decode("utf-8", "replace"))
+    return process, client
+
+
+def _stop_daemon(process):
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=10)
+
+
+def _canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit("service smoke FAIL: " + message)
+    print("  ok: " + message)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engine", default=None,
+                        help="scheduler engine to pin in the job spec "
+                             "(event, columnar, legacy)")
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    job = fig11_job(args.engine)
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as cache_dir:
+        port = _free_port()
+        process, client = _start_daemon(port, cache_dir, args.workers)
+        try:
+            print("submitting fig11 job (engine=%s) twice..."
+                  % (args.engine or "default"))
+            first = client.submit(job)
+            check(first["status"] == "done", "first submission completed")
+            check(not first["cached"], "first submission was a cache miss")
+            run = first["result"]["run"]
+            stats = client.stats()
+            check(stats["simulations"] == 1,
+                  "exactly one simulation after first submission")
+            check(stats["simulated_cycles"] == run["cycles"],
+                  "engine-cycle counter advanced by the run's %d cycles"
+                  % run["cycles"])
+
+            second = client.submit(job)
+            check(second["status"] == "done", "second submission completed")
+            check(second["cached"], "second submission was a cache hit")
+            check(_canonical(second["result"]["run"]) == _canonical(run),
+                  "cached payload is byte-identical to the simulated one")
+            stats = client.stats()
+            check(stats["simulations"] == 1,
+                  "still exactly one simulation after the repeat")
+            check(stats["cache"]["hits"] == 1, "cache recorded the hit")
+        finally:
+            _stop_daemon(process)
+
+        # Durability: a fresh daemon over the same cache directory serves
+        # the same bytes without simulating.
+        port = _free_port()
+        process, client = _start_daemon(port, cache_dir, args.workers)
+        try:
+            third = client.submit(job)
+            check(third["cached"],
+                  "fresh daemon on the same cache dir still hits")
+            check(_canonical(third["result"]["run"]) == _canonical(run),
+                  "restart preserved the exact payload")
+            check(client.stats()["simulations"] == 0,
+                  "restarted daemon never simulated")
+        finally:
+            _stop_daemon(process)
+    print("service smoke PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""In-memory job store: lifecycle, content-hash dedup, progress events.
+
+One :class:`Job` per accepted submission.  Jobs are deduplicated by
+content hash *while in flight*: submitting a spec whose key matches a
+queued/running job attaches the caller to that job instead of queuing the
+work twice (completed work is deduplicated by the on-disk result cache
+instead, which survives restarts).
+
+Each job carries an append-only event log (queued / started / point /
+timeline / done / failed).  Consumers stream it through the server's
+NDJSON ``/v1/jobs/<id>/events`` endpoint: :meth:`Job.subscribe` yields
+every event already recorded, then waits on the job's condition for new
+ones until a terminal event closes the stream.
+"""
+
+import asyncio
+import itertools
+import time
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+#: Event types that end an event stream.
+TERMINAL_EVENTS = ("done", "failed")
+
+
+class Job:
+    """One accepted job: spec, state, result payload and event log."""
+
+    def __init__(self, job_id, key, spec):
+        self.id = job_id
+        self.key = key
+        self.spec = spec
+        self.status = QUEUED
+        self.cached = False
+        self.created = time.time()
+        self.finished = None
+        self.result = None
+        self.error = None
+        self.progress = {"completed": 0, "total": 1}
+        self.events = []
+        self._condition = asyncio.Condition()
+
+    async def emit(self, event_type, **fields):
+        """Append an event and wake every subscriber."""
+        event = {"type": event_type, "job_id": self.id, **fields}
+        async with self._condition:
+            self.events.append(event)
+            self._condition.notify_all()
+        return event
+
+    async def subscribe(self):
+        """Yield events from the beginning, live until a terminal event."""
+        cursor = 0
+        while True:
+            async with self._condition:
+                while cursor >= len(self.events):
+                    await self._condition.wait()
+                batch = self.events[cursor:]
+                cursor = len(self.events)
+            for event in batch:
+                yield event
+                if event["type"] in TERMINAL_EVENTS:
+                    return
+
+    async def wait(self):
+        """Block until the job reaches a terminal state."""
+        async with self._condition:
+            while self.status not in (DONE, FAILED):
+                await self._condition.wait()
+
+    async def finish(self, result=None, error=None):
+        """Mark the job done (or failed) and publish the terminal event."""
+        self.finished = time.time()
+        if error is not None:
+            self.status = FAILED
+            self.error = error
+            await self.emit("failed", error=error)
+        else:
+            self.status = DONE
+            self.result = result
+            await self.emit("done", cached=self.cached,
+                            seconds=self.finished - self.created)
+
+    def describe(self):
+        """Status summary for ``GET /v1/jobs/<id>``."""
+        return {
+            "id": self.id,
+            "key": self.key,
+            "type": self.spec["type"],
+            "status": self.status,
+            "cached": self.cached,
+            "progress": dict(self.progress),
+            "error": self.error,
+        }
+
+
+class JobStore:
+    """All jobs the daemon has accepted, with in-flight dedup by key."""
+
+    def __init__(self):
+        self._jobs = {}
+        self._active_by_key = {}
+        self._ids = itertools.count(1)
+
+    def create(self, key, spec):
+        """Register a new job for `key`; returns it."""
+        job = Job("j%06d" % next(self._ids), key, spec)
+        self._jobs[job.id] = job
+        self._active_by_key[key] = job
+        return job
+
+    def active(self, key):
+        """The queued/running job for `key`, or ``None``."""
+        job = self._active_by_key.get(key)
+        if job is not None and job.status in (QUEUED, RUNNING):
+            return job
+        return None
+
+    def settle(self, job):
+        """Drop the in-flight dedup entry once `job` is terminal."""
+        if self._active_by_key.get(job.key) is job:
+            del self._active_by_key[job.key]
+
+    def get(self, job_id):
+        return self._jobs.get(job_id)
+
+    def __len__(self):
+        return len(self._jobs)

@@ -98,3 +98,47 @@ class TestPresets:
         assert config.nodes == 4
         assert config.network_bw_words == 1
         assert config.cache_combining
+
+
+class TestSerialization:
+    """to_dict / from_dict / canonical_hash (the service cache key)."""
+
+    def test_to_dict_covers_every_field_sorted(self):
+        config = MachineConfig.table1()
+        data = config.to_dict()
+        names = [field.name for field in dataclasses.fields(MachineConfig)]
+        assert list(data) == sorted(names)
+        assert all(data[name] == getattr(config, name) for name in data)
+
+    def test_from_dict_round_trips(self):
+        config = MachineConfig.uniform(latency=64, interval=4)
+        assert MachineConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_fills_missing_fields_with_defaults(self):
+        config = MachineConfig.from_dict({"fu_latency": 8})
+        assert config.fu_latency == 8
+        assert config.cache_banks == MachineConfig().cache_banks
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="no_such_field"):
+            MachineConfig.from_dict({"no_such_field": 1})
+
+    def test_from_dict_revalidates(self):
+        with pytest.raises(ValueError):
+            MachineConfig.from_dict({"fu_latency": 0})
+
+    def test_canonical_hash_is_stable_and_semantic(self):
+        base = MachineConfig.table1()
+        assert base.canonical_hash() == MachineConfig.table1().canonical_hash()
+        assert len(base.canonical_hash()) == 64
+        changed = base.with_changes(fu_latency=8)
+        assert changed.canonical_hash() != base.canonical_hash()
+
+    def test_hash_ignores_construction_spelling(self):
+        via_kwargs = MachineConfig(memory_model="uniform",
+                                   uniform_latency=100)
+        via_dict = MachineConfig.from_dict(via_kwargs.to_dict())
+        via_changes = MachineConfig.uniform().with_changes(
+            uniform_latency=100)
+        assert via_kwargs.canonical_hash() == via_dict.canonical_hash()
+        assert via_kwargs.canonical_hash() == via_changes.canonical_hash()
