@@ -112,6 +112,20 @@ class CacheBank(Component):
         self.feeds(mem_req_out)
         sim.register(self)
 
+    def uniform_window_ready(self):
+        """True when no bank-side state can perturb a uniform window.
+
+        Pending MSHRs, unissued fills, blocked evictions, queued responses
+        or an in-progress flush all make the next cycles depend on future
+        arbitration; resident lines (clean or dirty) are pure history and
+        do not disqualify a window.  The fast-forward engine consults this
+        before collapsing a window on the cached topology.
+        """
+        return (self.req_in.idle and self.fill_in.idle
+                and not self._mshrs and not self._mshr_issue
+                and not self._evict_retry and not self._due
+                and not self._flushing)
+
     # ------------------------------------------------------------------ #
     # set bookkeeping
     # ------------------------------------------------------------------ #

@@ -208,6 +208,13 @@ BENCH_CYCLE_TOLERANCE = 0.25
 BENCH_WALL_FACTOR = 2.0
 BENCH_WALL_SLACK = 0.05  # seconds
 
+#: Version of the bench report layout.  Bumped whenever the schema or the
+#: timing protocol changes incompatibly (2: median-of-N timing with a
+#: warm-up pass, recorded engine list, per-workload speedup floors), so a
+#: stale committed baseline fails ``--check`` loudly instead of silently
+#: comparing incomparable numbers.
+BENCH_SCHEMA = "repro.bench/2"
+
 
 def check_bench_regression(results, baseline,
                            cycle_tolerance=BENCH_CYCLE_TOLERANCE,
@@ -217,13 +224,36 @@ def check_bench_regression(results, baseline,
 
     Returns a list of human-readable failure strings (empty = pass).
     A workload fails when its cycle count moved more than
-    `cycle_tolerance` (fractional, either direction) or its wall time
-    exceeds `wall_factor` times the baseline plus `wall_slack` seconds.
-    Workloads present on only one side are reported but do not fail the
-    check, so adding a bench case does not require regenerating the
-    baseline in the same change.
+    `cycle_tolerance` (fractional, either direction) or its median wall
+    time exceeds `wall_factor` times the baseline plus `wall_slack`
+    seconds.  A baseline entry carrying ``min_fastforward_speedup``
+    additionally enforces that floor on the run's measured
+    ``fastforward_speedup`` (the fig11 acceptance gate).  Workloads
+    present on only one side are reported but do not fail the check, so
+    adding a bench case does not require regenerating the baseline in
+    the same change -- but a stale baseline *file* (missing or mismatched
+    schema version, or missing an engine this run timed) fails loudly.
     """
     failures = []
+    base_schema = baseline.get("schema")
+    if base_schema != BENCH_SCHEMA:
+        failures.append(
+            "baseline schema %r != %r -- stale baseline file, regenerate "
+            "with `repro bench --out`" % (base_schema, BENCH_SCHEMA))
+        return failures
+    base_engines = baseline.get("engines")
+    run_engines = results.get("engines", [])
+    if base_engines is None:
+        failures.append("baseline records no engine list -- stale "
+                        "baseline file, regenerate")
+        return failures
+    missing = [engine for engine in run_engines
+               if engine not in base_engines]
+    if missing:
+        failures.append(
+            "baseline lacks engines %s (has %s) -- stale baseline file, "
+            "regenerate" % (", ".join(missing), ", ".join(base_engines)))
+        return failures
     base_workloads = baseline.get("workloads", {})
     for name, entry in results.get("workloads", {}).items():
         base = base_workloads.get(name)
@@ -256,6 +286,12 @@ def check_bench_regression(results, baseline,
                     "%s[%s]: wall time %.3fs vs baseline %.3fs "
                     "(> %.1fx slower)"
                     % (name, scheduler, wall, base_wall, wall_factor))
+        floor = base.get("min_fastforward_speedup")
+        speedup = entry.get("fastforward_speedup")
+        if floor is not None and speedup is not None and speedup < floor:
+            failures.append(
+                "%s: fastforward speedup %.2fx below the %.1fx floor"
+                % (name, speedup, floor))
     for name in base_workloads:
         if name not in results.get("workloads", {}):
             print("bench --check: baseline workload %s missing from run"
@@ -265,6 +301,7 @@ def check_bench_regression(results, baseline,
 
 def _cmd_bench(args):
     import json
+    import statistics
     import time
 
     from repro.sim.engine import SCHEDULERS, use_scheduler
@@ -275,27 +312,31 @@ def _cmd_bench(args):
     engines = {
         "event": ("event",),
         "columnar": ("columnar",),
+        "fastforward": ("fastforward",),
         "both": ("event", "columnar"),
         "all": SCHEDULERS,
     }[args.engine]
-    results = {"smoke": bool(args.smoke), "engines": list(engines),
-               "workloads": {}}
+    results = {"schema": BENCH_SCHEMA, "smoke": bool(args.smoke),
+               "engines": list(engines), "workloads": {}}
     for name, runner in _bench_workloads(args.smoke):
         entry = {}
         for scheduler in engines:
-            best = None
-            cycles = None
             with use_scheduler(scheduler):
+                # One untimed warm-up run absorbs import, allocator and
+                # cache-warming costs; the median of the timed reps then
+                # gates --check instead of a single noisy extreme.
+                cycles = runner()
+                samples = []
                 for _ in range(args.repeats):
                     start = time.perf_counter()
                     cycles = runner()
-                    elapsed = time.perf_counter() - start
-                    if best is None or elapsed < best:
-                        best = elapsed
+                    samples.append(time.perf_counter() - start)
+            wall = statistics.median(samples)
             entry[scheduler] = {
                 "cycles": int(cycles),
-                "wall_seconds": best,
-                "cycles_per_second": cycles / best if best else 0.0,
+                "wall_seconds": wall,
+                "wall_seconds_min": min(samples),
+                "cycles_per_second": cycles / wall if wall else 0.0,
             }
         counts = {entry[s]["cycles"] for s in engines}
         if len(counts) > 1:
@@ -310,6 +351,10 @@ def _cmd_bench(args):
             entry["columnar_speedup"] = (
                 entry["columnar"]["cycles_per_second"]
                 / entry["event"]["cycles_per_second"])
+        if "event" in entry and "fastforward" in entry:
+            entry["fastforward_speedup"] = (
+                entry["fastforward"]["cycles_per_second"]
+                / entry["event"]["cycles_per_second"])
         results["workloads"][name] = entry
         cells = ["%-18s %8d cycles" % (name, entry[engines[0]]["cycles"])]
         cells.extend("%s %8.0f cyc/s" % (s, entry[s]["cycles_per_second"])
@@ -318,6 +363,9 @@ def _cmd_bench(args):
             cells.append("event/legacy %.2fx" % entry["speedup"])
         if "columnar_speedup" in entry:
             cells.append("columnar/event %.2fx" % entry["columnar_speedup"])
+        if "fastforward_speedup" in entry:
+            cells.append("fastforward/event %.2fx"
+                         % entry["fastforward_speedup"])
         print("  ".join(cells))
     out = pathlib.Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -496,11 +544,13 @@ def build_parser():
                        help="small inputs for CI (seconds, not minutes)")
     bench.add_argument(
         "--engine", default="all",
-        choices=("event", "columnar", "both", "all"),
+        choices=("event", "columnar", "fastforward", "both", "all"),
         help="which engines to time: a single engine, 'both' "
-             "(event+columnar), or 'all' (adds the legacy reference)")
+             "(event+columnar), or 'all' (every registered scheduler, "
+             "legacy reference included)")
     bench.add_argument("--repeats", type=int, default=3,
-                       help="timing repetitions per case (best is kept)")
+                       help="timed repetitions per case after one warm-up "
+                            "run (the median is kept)")
     bench.add_argument("--out", default="results/engine_bench.json",
                        help="where to write the JSON benchmark report")
     bench.add_argument(

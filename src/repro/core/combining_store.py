@@ -69,6 +69,17 @@ class CombiningStore:
     def full(self):
         return not self._free
 
+    @property
+    def window_uniform(self):
+        """True when the store holds no state a uniform window could cross.
+
+        A fast-forward window must not straddle an insert/evict boundary:
+        an allocated entry means a pending FU issue or completion, and a
+        waiting queue means a chain in flight.  An empty store has neither,
+        so every cycle until the next external arrival is predictable.
+        """
+        return not self._waiting and self.occupancy == 0
+
     def has_address(self, addr):
         """CAM lookup: any *waiting* entry for `addr`?"""
         return bool(self._waiting.get(addr))

@@ -761,6 +761,29 @@ class ScatterAddUnit(Component):
             or self._ack_retry
         )
 
+    @property
+    def window_quiescent(self):
+        """True when a uniform fast-forward window may start at this unit.
+
+        Stricter than ``not busy``: the analytic replay seeds its plan from
+        a pipeline with *no* request, token, retry or virtual state in
+        flight, so every queue (including the two-phase FIFOs' staged
+        slots) must be idle and the combining store must satisfy
+        :attr:`~repro.core.combining_store.CombiningStore.window_uniform`.
+        """
+        return (
+            self.req_in.idle
+            and self.value_in.idle
+            and not self._chained
+            and not self._virtual
+            and not self._mem_retry
+            and not self._ack_retry
+            and self._fifo_value_reads == 0
+            and self._stall_since is None
+            and not self.fu.busy
+            and self.store.window_uniform
+        )
+
     def obs_probes(self):
         return (
             ("store_occupancy", lambda now: self.store.occupancy),

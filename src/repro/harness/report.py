@@ -65,7 +65,9 @@ def engine_summary(stats):
     idle_ticks = engine.get("ticks_skipped", 0)
     total_cycles = executed + skipped_cycles
     total_ticks = ticks + idle_ticks
-    if engine.get("scheduler_columnar"):
+    if engine.get("scheduler_fastforward"):
+        name = "fastforward"
+    elif engine.get("scheduler_columnar"):
         name = "columnar"
     elif engine.get("scheduler_event"):
         name = "event"
@@ -80,10 +82,13 @@ def engine_summary(stats):
             100.0 * idle_ticks / total_ticks if total_ticks else 0.0,
         )
     )
+    if name == "fastforward":
+        line += "; %d uniform windows collapsed analytically" % (
+            engine.get("windows_collapsed", 0),)
     columnar = {key[len("sim.columnar."):]: value
                 for key, value in values.items()
                 if key.startswith("sim.columnar.")}
-    if name == "columnar" and columnar:
+    if name in ("columnar", "fastforward") and columnar:
         line += (
             "; columnar: %d bursts (%d events batched, %d acks coalesced, "
             "%d scalar fallbacks)" % (

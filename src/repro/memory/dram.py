@@ -15,8 +15,11 @@ latency/throughput structure the Section 4.4 sensitivity studies use.
 import heapq
 from collections import deque
 
+import numpy as np
+
 from repro.memory.address import channel_of, decode_channels, decode_rows
 from repro.memory.request import OP_READ, OP_WRITE, MemoryResponse
+from repro.sim.columns import maxplus_scan
 from repro.sim.engine import Component
 
 
@@ -240,6 +243,57 @@ class DRAMSystem(_MemoryEndpoint):
             wake = now + 1
         return wake
 
+    def uniform_window_ready(self):
+        """True when no DRAM state can perturb a uniform window.
+
+        Any queued, transiting or blocked transaction -- or a pending
+        response retry -- means service order still depends on future
+        cycle-by-cycle arbitration, so a fast-forward window may not
+        start.  (Channel ``free_at`` marks and open rows are pure
+        history: they constrain the *next* transaction analytically and
+        do not disqualify a window.)
+        """
+        return (self.req_in.idle and not self._due and not self._retry
+                and not any(self._channel_queues))
+
+    def open_row_burst(self, releases, words=1, first_is_miss=False,
+                       free_at=0):
+        """Closed-form FR-FCFS service of a same-row burst on one channel.
+
+        `releases` are the cycles at which each transaction becomes
+        schedulable (FIFO commit cycles), sorted ascending.  While every
+        transaction targets the channel's open row, FR-FCFS never
+        reorders, each transfer occupies the channel for
+        ``words * interval`` cycles, and each access pays the row-hit
+        latency -- so the start schedule is the
+        :func:`~repro.sim.columns.maxplus_scan` of the releases with the
+        occupancy as the gap.  `first_is_miss` models the row-transition
+        boundary: the first access pays the miss latency *and* occupies
+        the channel for the extra precharge/activate cycles, after which
+        the row is open for the rest of the burst.  Returns ``(starts,
+        completions)`` as int64 arrays, bit-identical to stepping
+        :meth:`tick` over the same single-channel traffic.
+        """
+        releases = np.asarray(releases, dtype=np.int64)
+        if releases.size == 0:
+            return releases.copy(), releases.copy()
+        if not self.row_model:
+            first_is_miss = False
+        occupied = np.int64(words * self.interval)
+        hit_access = self.hit_latency if self.row_model else self.latency
+        first_access = self.miss_latency if first_is_miss else hit_access
+        first_occupied = occupied + (first_access - hit_access)
+        first_start = max(int(releases[0]), int(free_at))
+        rest_starts = maxplus_scan(
+            releases[1:], occupied,
+            init=first_start + int(first_occupied) - int(occupied))
+        starts = np.empty(releases.size, dtype=np.int64)
+        starts[0] = first_start
+        starts[1:] = rest_starts
+        completions = starts + words * self.interval + hit_access
+        completions[0] = first_start + words * self.interval + first_access
+        return starts, completions
+
     @property
     def busy(self):
         return super().busy or any(self._channel_queues)
@@ -296,6 +350,17 @@ class UniformMemory(_MemoryEndpoint):
         invert.
         """
         return self.req_in.idle and not self._due and not self._retry
+
+    def uniform_window_ready(self):
+        """Uniform-window predicate: same condition as fusability.
+
+        The fixed-function memory has no rows or banks, so the only
+        state that can perturb a window is a transiting request or a
+        blocked response -- exactly what :meth:`columnar_fusable`
+        excludes.  (``_free_at``/``_last_start`` are analytic history,
+        honoured by the fast-forward recurrence.)
+        """
+        return self.columnar_fusable()
 
     def columnar_ingest(self, request, commit_cycle):
         """Account one transaction exactly as the scalar path would.

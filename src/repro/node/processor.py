@@ -15,6 +15,7 @@ from repro.node.program import StreamProgram
 from repro.obs import session as obs_session
 from repro.sim.columns import ColumnarMetrics, RequestPool
 from repro.sim.engine import Simulator
+from repro.sim.fastforward import PipelineFastForward
 from repro.sim.stats import Stats
 
 
@@ -104,6 +105,10 @@ class StreamProcessor:
             for unit in self.memsys.units:
                 unit.attach_columnar(upstream_quiet=upstream_quiet,
                                      pool=self._pool)
+        self._fastforward = None
+        if self.sim.fastforward and config.memory_model == "uniform":
+            self._fastforward = PipelineFastForward(
+                self.sim, config, self.agus, self.memsys)
         if self.obs_scope is not None:
             self.obs_scope.install_sampler()
 
@@ -152,7 +157,14 @@ class StreamProcessor:
             self.agus[agu].start(op)
             agu_load[agu] += 1
         start = self.sim.cycle
-        end = self.sim.run()
+        end = None
+        if self._fastforward is not None:
+            # Analytic window collapse; None declines (observation hooks,
+            # unsupported traffic shape) and falls through to the stepped
+            # columnar engine, which is burst-exact under observation.
+            end = self._fastforward.attempt()
+        if end is None:
+            end = self.sim.run()
         self.stats.record_engine(self.sim)
         if self._pool is not None:
             self.stats.registry.gauge(

@@ -43,6 +43,15 @@ Two schedulers implement those semantics:
     scalar execution.  The golden equivalence suite runs all three
     schedulers against each other.
 
+``"fastforward"``
+    The columnar scheduler plus *window collapse*: when a caller proves a
+    whole span of cycles is uniform (no new arrivals, no structural
+    boundary -- see :mod:`repro.sim.fastforward`), it executes the span
+    analytically with max-plus recurrences and jumps the clock with
+    :meth:`Simulator.collapse_window` instead of stepping at all.  Spans
+    that fail the uniformity predicate fall back to the columnar engine,
+    so equivalence is preserved unconditionally.
+
 Select a scheduler per :class:`Simulator` (``Simulator(scheduler=...)``),
 process-wide via the ``REPRO_SCHEDULER`` environment variable, or
 temporarily with :func:`use_scheduler`.
@@ -52,7 +61,7 @@ import os
 from contextlib import contextmanager
 from heapq import heappop, heappush
 
-SCHEDULERS = ("event", "legacy", "columnar")
+SCHEDULERS = ("event", "legacy", "columnar", "fastforward")
 
 #: Scheduler used by Simulators constructed without an explicit choice.
 DEFAULT_SCHEDULER = os.environ.get("REPRO_SCHEDULER", "event")
@@ -191,7 +200,12 @@ class Simulator:
         self._active_channels = 0  # non-idle fifos + pipes
         self._processing_order = -1  # order of the component mid-tick
         #: Components consult this to enable their columnar fast paths.
-        self.columnar = self.scheduler == "columnar"
+        #: The fastforward scheduler is the columnar engine plus window
+        #: collapse, so the columnar paths stay on for its fallbacks.
+        self.columnar = self.scheduler in ("columnar", "fastforward")
+        #: Window-collapse opt-in: :mod:`repro.sim.fastforward` only
+        #: attempts analytic execution when this is set.
+        self.fastforward = self.scheduler == "fastforward"
         #: Set by the observability layer when live sampling probes are
         #: installed; columnar fast paths then fall back to scalar ticking
         #: so intermediate state at window boundaries stays exact.
@@ -206,6 +220,7 @@ class Simulator:
         self.ticks_skipped = 0
         self.cycles_executed = 0
         self.cycles_fast_forwarded = 0
+        self.windows_collapsed = 0
         self.timed_ops_serviced = 0
 
     # ------------------------------------------------------------------ #
@@ -594,6 +609,32 @@ class Simulator:
             % (self.max_cycles,)
         )
 
+    def collapse_window(self, end_cycle):
+        """Jump the clock over an analytically-executed uniform window.
+
+        The caller (see :mod:`repro.sim.fastforward`) has already produced
+        every observable effect of the window -- counters, memory state,
+        component end states -- exactly as stepping would have, so the
+        engine merely advances time and accounts the skip.  The window
+        must start from a quiescent engine (no timed operations pending);
+        anything scheduled would silently never be serviced.
+        """
+        if end_cycle < self.cycle:
+            raise ValueError(
+                "collapse_window(%d) would move time backwards from %d"
+                % (end_cycle, self.cycle))
+        timed = self._timed
+        while timed and timed[0][3] == "dead":
+            heappop(timed)
+        if timed:
+            raise SimulationError(
+                "collapse_window with %d timed operations pending; uniform "
+                "windows must start quiescent" % len(timed))
+        self.cycles_fast_forwarded += end_cycle - self.cycle
+        self.windows_collapsed += 1
+        self.cycle = end_cycle
+        return end_cycle
+
     def run_cycles(self, count):
         """Advance exactly `count` cycles regardless of quiescence.
 
@@ -612,8 +653,11 @@ class Simulator:
         return {
             "scheduler_event": 1 if self.scheduler == "event" else 0,
             "scheduler_columnar": 1 if self.scheduler == "columnar" else 0,
+            "scheduler_fastforward": 1 if self.scheduler == "fastforward"
+            else 0,
             "cycles_executed": self.cycles_executed,
             "cycles_fast_forwarded": self.cycles_fast_forwarded,
+            "windows_collapsed": self.windows_collapsed,
             "ticks_executed": self.ticks_executed,
             "ticks_skipped": self.ticks_skipped,
             "timed_ops": self.timed_ops_serviced,

@@ -120,12 +120,15 @@ class TestBench:
             # Every scheduler simulates the identical workload.
             assert entry["event"]["cycles"] == entry["legacy"]["cycles"]
             assert entry["columnar"]["cycles"] == entry["event"]["cycles"]
+            assert entry["fastforward"]["cycles"] == entry["event"]["cycles"]
             assert entry["event"]["cycles_per_second"] > 0
             assert entry["speedup"] > 0
             assert entry["columnar_speedup"] > 0
+            assert entry["fastforward_speedup"] > 0
         printed = capsys.readouterr().out
         assert "event/legacy" in printed
         assert "columnar/event" in printed
+        assert "fastforward/event" in printed
 
     def test_bench_single_engine_has_no_speedup_column(self, capsys,
                                                        tmp_path):
@@ -145,40 +148,72 @@ def _bench_entry(cycles, wall):
     }
 
 
+def _bench_report(workloads):
+    from repro.cli import BENCH_SCHEMA
+
+    return {"schema": BENCH_SCHEMA, "engines": ["legacy", "event"],
+            "workloads": workloads}
+
+
 class TestBenchCheck:
     def test_identical_reports_pass(self):
-        report = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        report = _bench_report({"histogram": _bench_entry(1000, 0.5)})
         assert check_bench_regression(report, report) == []
 
     def test_small_drift_within_tolerance_passes(self):
-        current = {"workloads": {"histogram": _bench_entry(1100, 0.6)}}
-        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        current = _bench_report({"histogram": _bench_entry(1100, 0.6)})
+        baseline = _bench_report({"histogram": _bench_entry(1000, 0.5)})
         assert check_bench_regression(current, baseline) == []
 
     def test_cycle_drift_beyond_tolerance_fails(self):
-        current = {"workloads": {"histogram": _bench_entry(1300, 0.5)}}
-        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        current = _bench_report({"histogram": _bench_entry(1300, 0.5)})
+        baseline = _bench_report({"histogram": _bench_entry(1000, 0.5)})
         failures = check_bench_regression(current, baseline)
         assert failures and "cycle count" in failures[0]
 
     def test_cycle_speedup_beyond_tolerance_also_fails(self):
         # A big *drop* in cycle count is a modelling change too.
-        current = {"workloads": {"histogram": _bench_entry(700, 0.5)}}
-        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        current = _bench_report({"histogram": _bench_entry(700, 0.5)})
+        baseline = _bench_report({"histogram": _bench_entry(1000, 0.5)})
         assert check_bench_regression(current, baseline)
 
     def test_wall_time_regression_fails(self):
-        current = {"workloads": {"histogram": _bench_entry(1000, 1.2)}}
-        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        current = _bench_report({"histogram": _bench_entry(1000, 1.2)})
+        baseline = _bench_report({"histogram": _bench_entry(1000, 0.5)})
         failures = check_bench_regression(current, baseline)
         assert failures and "wall time" in failures[0]
 
     def test_new_workload_is_skipped_not_failed(self, capsys):
-        current = {"workloads": {"histogram": _bench_entry(1000, 0.5),
-                                 "brand_new": _bench_entry(9, 9.0)}}
-        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        current = _bench_report({"histogram": _bench_entry(1000, 0.5),
+                                 "brand_new": _bench_entry(9, 9.0)})
+        baseline = _bench_report({"histogram": _bench_entry(1000, 0.5)})
         assert check_bench_regression(current, baseline) == []
         assert "not in baseline" in capsys.readouterr().out
+
+    def test_stale_baseline_without_schema_fails_loudly(self):
+        # A pre-versioning baseline (or one from a different layout) must
+        # fail, not silently compare incomparable medians.
+        current = _bench_report({"histogram": _bench_entry(1000, 0.5)})
+        baseline = {"workloads": {"histogram": _bench_entry(1000, 0.5)}}
+        failures = check_bench_regression(current, baseline)
+        assert failures and "stale baseline" in failures[0]
+
+    def test_stale_baseline_missing_engine_fails_loudly(self):
+        current = _bench_report({"histogram": _bench_entry(1000, 0.5)})
+        current["engines"] = ["legacy", "event", "fastforward"]
+        baseline = _bench_report({"histogram": _bench_entry(1000, 0.5)})
+        failures = check_bench_regression(current, baseline)
+        assert failures and "fastforward" in failures[0]
+
+    def test_fastforward_speedup_floor_enforced(self):
+        current = _bench_report({"fig11": _bench_entry(1000, 0.5)})
+        current["workloads"]["fig11"]["fastforward_speedup"] = 2.1
+        baseline = _bench_report({"fig11": _bench_entry(1000, 0.5)})
+        baseline["workloads"]["fig11"]["min_fastforward_speedup"] = 3.0
+        failures = check_bench_regression(current, baseline)
+        assert failures and "below the 3.0x floor" in failures[0]
+        current["workloads"]["fig11"]["fastforward_speedup"] = 3.4
+        assert check_bench_regression(current, baseline) == []
 
     def test_cli_check_passes_against_fresh_baseline(self, tmp_path):
         baseline = tmp_path / "baseline.json"

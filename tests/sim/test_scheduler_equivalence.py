@@ -1,12 +1,14 @@
-"""Golden equivalence: event and columnar schedulers match legacy exactly.
+"""Golden equivalence: every scheduler matches legacy bit-exactly.
 
-The event scheduler may only *skip* ticks that are provably no-ops, and
-the columnar engine may only batch work whose observable effects it
-reproduces cycle-exactly, so every workload must produce bit-identical
-final cycle counts, statistics (modulo the ``engine.*`` and
-``sim.columnar.*`` observability counters), metrics payloads, latency
-breakdowns and numerical results under all three schedulers.  These
-tests run real workloads through each and diff everything.
+The event scheduler may only *skip* ticks that are provably no-ops, the
+columnar engine may only batch work whose observable effects it
+reproduces cycle-exactly, and the fast-forward engine may only collapse
+windows whose end state it computes analytically -- so every workload
+must produce bit-identical final cycle counts, statistics (modulo the
+``engine.*`` and ``sim.columnar.*`` observability counters), metrics
+payloads, latency breakdowns and numerical results under all four
+schedulers.  These tests run real workloads through each and diff
+everything.
 """
 
 import random
@@ -43,7 +45,7 @@ def _strip_metrics(payload):
 def _run_all(fn):
     """Run `fn` under every scheduler; returns {scheduler: result}."""
     runs = {}
-    for scheduler in ("legacy", "event", "columnar"):
+    for scheduler in ("legacy", "event", "columnar", "fastforward"):
         with use_scheduler(scheduler):
             runs[scheduler] = fn()
     return runs
@@ -51,7 +53,7 @@ def _run_all(fn):
 
 def _assert_equivalent(runs):
     cycles_ref, stats_ref, result_ref = runs["legacy"]
-    for scheduler in ("event", "columnar"):
+    for scheduler in ("event", "columnar", "fastforward"):
         cycles, stats, result = runs[scheduler]
         assert cycles == cycles_ref, scheduler
         assert stats == stats_ref, scheduler
@@ -212,7 +214,7 @@ class TestObservabilityEquivalence:
 
         runs = _run_all(run)
         payload_ref, breakdown_ref = runs["legacy"]
-        for scheduler in ("event", "columnar"):
+        for scheduler in ("event", "columnar", "fastforward"):
             payload, breakdown = runs[scheduler]
             assert payload == payload_ref, scheduler
             assert breakdown == breakdown_ref, scheduler
@@ -256,5 +258,135 @@ class TestEngineCounters:
         assert stats["engine.timed_ops"] > 0
         assert stats["engine.cycles_executed"] < run_.cycles
 
+    def test_fastforward_run_collapses_windows(self):
+        rng = random.Random(5)
+        indices = [rng.randrange(65536) for _ in range(256)]
+        config = MachineConfig.uniform(latency=256, interval=2)
+        with use_scheduler("fastforward"):
+            run_ = simulate_scatter_add(indices, 1.0, num_targets=65536,
+                                        config=config)
+        stats = run_.stats.as_dict()
+        assert stats["engine.scheduler_fastforward"] == 1
+        # The whole phase is one uniform window: it must have been
+        # collapsed analytically, with every cycle fast-forwarded and
+        # none stepped.
+        assert stats["engine.windows_collapsed"] >= 1
+        assert stats["engine.cycles_fast_forwarded"] > 0
+        assert stats["engine.cycles_executed"] < run_.cycles
+
+    def test_fastforward_declines_under_observation(self):
+        # Live probes read intermediate state at exact cycles, so the
+        # uniformity predicate must refuse the window and fall back to
+        # the stepped columnar engine (which is burst-exact).
+        rng = random.Random(5)
+        indices = [rng.randrange(65536) for _ in range(256)]
+        config = MachineConfig.uniform(latency=256, interval=2)
+        with use_scheduler("fastforward"):
+            sim = Simulation(config, sample_every=64)
+            run_ = sim.run("scatter_add", indices, 1.0, num_targets=65536)
+        stats = run_.stats.as_dict()
+        assert stats["engine.scheduler_fastforward"] == 1
+        assert stats["engine.windows_collapsed"] == 0
+        assert stats["engine.cycles_executed"] > 0
+
     def test_schedulers_registry_is_closed(self):
-        assert set(SCHEDULERS) == {"legacy", "event", "columnar"}
+        assert set(SCHEDULERS) == {"legacy", "event", "columnar",
+                                   "fastforward"}
+
+
+class TestMaxPlusKernels:
+    """Edge cases of the closed-form (max,+) kernels."""
+
+    def test_zero_length_window(self):
+        from repro.sim.columns import maxplus_scan, pipeline_drain
+
+        empty = maxplus_scan([], 3)
+        assert empty.size == 0
+        issues, dones = pipeline_drain([], 1, 4)
+        assert issues.size == 0 and dones.size == 0
+
+    def test_scan_matches_scalar_fold(self):
+        from repro.sim.columns import maxplus_scan
+
+        rng = random.Random(23)
+        for init in (None, 0, 17):
+            for gap in (1, 2, 7):
+                releases = sorted(rng.randrange(200) for _ in range(64))
+                expected = []
+                prev = None if init is None else init
+                for release in releases:
+                    start = release
+                    if prev is not None and prev + gap > start:
+                        start = prev + gap
+                    expected.append(start)
+                    prev = start
+                got = maxplus_scan(releases, gap, init=init)
+                assert got.tolist() == expected
+
+    def test_single_request_burst(self):
+        from repro.sim.columns import maxplus_scan, pipeline_drain
+
+        assert maxplus_scan([42], 3).tolist() == [42]
+        assert maxplus_scan([42], 3, init=41).tolist() == [44]
+        issues, dones = pipeline_drain([10], 1, 4, last_issue=10)
+        assert issues.tolist() == [11] and dones.tolist() == [15]
+
+    @pytest.mark.parametrize("first_is_miss", [True, False],
+                             ids=["row-transition", "row-open"])
+    def test_open_row_burst_matches_stepped_dram(self, first_is_miss):
+        # The closed-form FR-FCFS burst must be bit-identical to
+        # stepping the live DRAM model over the same single-channel,
+        # same-row traffic -- including the row-transition boundary,
+        # where the first access pays the miss latency and the extra
+        # channel occupancy.
+        from repro.memory.backing import MainMemory
+        from repro.memory.dram import DRAMSystem
+        from repro.memory.request import OP_WRITE, MemoryRequest
+        from repro.sim.engine import Component, Simulator
+        from repro.sim.stats import Stats
+
+        config = MachineConfig.table1().with_changes(
+            dram_channels=1, dram_model="rowbuffer",
+            dram_scheduling="frfcfs")
+        sim = Simulator(scheduler="legacy")
+        stats = Stats()
+        dram = DRAMSystem(sim, config, MainMemory(), stats, name="dram")
+        row_base = 3 * config.dram_row_words
+        releases = [1, 2, 3, 9, 40, 41]
+        if not first_is_miss:
+            dram._open_rows[0] = row_base // config.dram_row_words
+
+        completions = []
+        original_schedule = dram._schedule
+
+        def recording_schedule(request, ready_cycle):
+            completions.append(ready_cycle)
+            original_schedule(request, ready_cycle)
+
+        dram._schedule = recording_schedule
+
+        class _Driver(Component):
+            def __init__(self):
+                super().__init__("driver")
+                self.pending = [(release - 1, row_base + k)
+                                for k, release in enumerate(releases)]
+                self.sent = 0
+
+            def tick(self, now):
+                while (self.sent < len(self.pending)
+                       and self.pending[self.sent][0] == now):
+                    dram.req_in.push(
+                        MemoryRequest(OP_WRITE,
+                                      self.pending[self.sent][1],
+                                      value=1.0))
+                    self.sent += 1
+
+            @property
+            def busy(self):
+                return self.sent < len(self.pending)
+
+        sim.register(_Driver())
+        sim.run()
+        __, expected = dram.open_row_burst(releases,
+                                           first_is_miss=first_is_miss)
+        assert completions == expected.tolist()
