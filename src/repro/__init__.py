@@ -30,7 +30,7 @@ from repro.api import (
     simulate_scatter_add,
     simulate_scatter_op,
 )
-from repro.config import MachineConfig
+from repro.config import MachineConfig, NetworkConfig
 from repro.core.area import AreaModel
 from repro.core.queue import ParallelQueueAllocator, QueueAllocation
 from repro.core.scan import blocked_prefix_sum, fetch_add_prefix_sum
@@ -55,6 +55,7 @@ __all__ = [
     "Gather",
     "Kernel",
     "MachineConfig",
+    "NetworkConfig",
     "Phase",
     "ProgramResult",
     "Scatter",

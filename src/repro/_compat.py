@@ -9,6 +9,20 @@ consistent message pointing at the replacement.
 These shims keep their original signatures and behaviour exactly; they
 forward to :class:`repro.api.Simulation`.  New code should not import from
 this module.
+
+Deprecation window
+------------------
+Shims are kept for at least two released minor versions after the warning
+first ships, then removed in the next major revision.  Current windows:
+
+- ``simulate_scatter_add`` / ``simulate_scatter_op`` / ``ScatterAddRun``
+  (since the PR-2 API redesign): replaced by
+  :class:`repro.api.Simulation` / :class:`repro.api.ScatterRun`.
+- ``MachineConfig.multinode(...)`` and the loose ``nodes`` /
+  ``network_bw_words`` scalars (since the NetworkConfig redesign):
+  replaced by ``MachineConfig(network=NetworkConfig(...))``.  The scalar
+  *fields* stay mirrored (readable, hash-stable) for the whole window;
+  only the preset warns.
 """
 
 import warnings

@@ -344,6 +344,13 @@ class Simulation:
             Word address of ``a[0]`` in simulated memory.
 
         ``run.result`` equals the matching reference function exactly.
+
+        Multi-node configurations (``config.nodes > 1`` or a
+        ``NetworkConfig`` with several nodes) dispatch to
+        :class:`~repro.multinode.system.MultiNodeSystem` and return a
+        :class:`~repro.multinode.system.MultiNodeRun` — same
+        serialization surface, so the service layer treats both alike.
+        Only ``"scatter_add"`` is supported across nodes.
         """
         from repro.node.agu import StreamMemOp
 
@@ -353,6 +360,10 @@ class Simulation:
         if num_targets is None:
             num_targets = int(indices.max()) + 1 if indices.size else 0
         _validate_indices(indices, num_targets)
+        if self.config.nodes > 1:
+            return self._run_multinode(op, indices, values,
+                                       num_targets=num_targets,
+                                       initial=initial, base=base)
         observation = self._observation()
         processor = StreamProcessor(self.config, chaining=self.chaining,
                                     obs=observation, engine=self.engine)
@@ -370,6 +381,25 @@ class Simulation:
         program_result = processor.run(StreamProgram([Phase([stream_op])]))
         result = processor.read_result(base, num_targets)
         return ScatterRun(result, program_result, observation=observation)
+
+    def _run_multinode(self, op, indices, values, *, num_targets, initial,
+                       base):
+        """Run a scatter across a multi-node system (see :meth:`run`)."""
+        from repro.multinode.system import MultiNodeSystem
+
+        if op != "scatter_add":
+            raise ValueError(
+                "multi-node simulation supports op 'scatter_add', not %r"
+                % (op,))
+        observation = self._observation()
+        system = MultiNodeSystem(self.config,
+                                 address_space=base + num_targets,
+                                 obs=observation, engine=self.engine,
+                                 chaining=self.chaining)
+        if initial is not None:
+            system.load_array(base, np.asarray(initial, dtype=np.float64))
+        return system.scatter_add(indices, values, num_targets=num_targets,
+                                  base=base)
 
     def describe(self):
         """The canonical job spec of this simulation.

@@ -40,7 +40,7 @@ from repro.core.area import AreaModel
 #: startup fast).
 EXPERIMENTS = (
     "table1", "figure6", "figure7", "figure8", "figure9", "figure10",
-    "figure11", "figure12", "figure13",
+    "figure11", "figure12", "figure13", "network_ablation",
 )
 
 
@@ -104,12 +104,73 @@ def _export_observation(args, observation):
         print("wrote %s (%d scopes)" % (path, len(payload["scopes"])))
 
 
+def _network_args_given(args):
+    return any(getattr(args, name, None) is not None
+               for name in ("nodes", "topology", "combine_site"))
+
+
+def _validate_network_args(args, **defaults):
+    """Check the multi-node flags against :class:`NetworkConfig`.
+
+    Construction is the validation: the same rules gate programmatic use,
+    so the CLI can never accept a topology/site/node-count combination
+    the config layer would reject.  `defaults` fill in flags the user
+    left unset.  Returns the validated NetworkConfig (or ``None`` when no
+    multi-node flag was given).
+    """
+    if not _network_args_given(args):
+        return None
+    from repro.config import NetworkConfig
+
+    kwargs = dict(defaults)
+    if args.nodes is not None:
+        kwargs["nodes"] = args.nodes
+    if args.topology is not None:
+        kwargs["topology"] = args.topology
+    if args.combine_site is not None:
+        kwargs["combine_site"] = args.combine_site
+    try:
+        return NetworkConfig(**kwargs)
+    except ValueError as exc:
+        raise SystemExit("invalid network flags: %s" % (exc,))
+
+
+def _experiment_network_kwargs(name, callable_, args):
+    """Map --nodes/--topology/--combine-site onto an experiment's kwargs.
+
+    Experiments advertise multi-node support through their signatures
+    (``node_counts``, ``topology``, ``sites``); a flag that maps to a
+    parameter the experiment lacks is an error, not a silent no-op.
+    """
+    import inspect
+
+    parameters = inspect.signature(callable_).parameters
+    wanted = []
+    if args.nodes is not None:
+        wanted.append(("--nodes", "node_counts", (args.nodes,)))
+    if args.topology is not None:
+        wanted.append(("--topology", "topology", args.topology))
+    if args.combine_site is not None:
+        wanted.append(("--combine-site", "sites", (args.combine_site,)))
+    kwargs = {}
+    for flag, parameter, value in wanted:
+        if parameter not in parameters:
+            raise SystemExit(
+                "experiment %r does not take %s (no %r parameter)"
+                % (name, flag, parameter))
+        kwargs[parameter] = value
+    return kwargs
+
+
 def _cmd_run(args):
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    _validate_network_args(args)
     out_dir = pathlib.Path(args.out_dir) if args.out_dir else None
     with _observe_if_requested(args) as observation:
         for name in names:
-            result = _experiment(name)()
+            runner = _experiment(name)
+            kwargs = _experiment_network_kwargs(name, runner, args)
+            result = runner(**kwargs)
             text = result.render()
             print(text)
             print()
@@ -168,14 +229,18 @@ def _cmd_simulate(args):
     return 0 if exact else 1
 
 
-def _bench_workloads(smoke):
+def _bench_workloads(smoke, network=None):
     """Benchmark cases: (name, zero-arg runner factory) pairs.
 
     Each runner executes one full simulation and returns the cycle count
     it simulated, so cycles-per-second compares schedulers on identical
-    work.
+    work.  `network` (a :class:`~repro.config.NetworkConfig`) overrides
+    the interconnect of the multi-node case; the default is the radix-4
+    reduction tree with combining at both sites, i.e. the configuration
+    the network ablation champions.
     """
     from repro.api import Simulation
+    from repro.config import NetworkConfig
     from repro.workloads.fem import build_tet_mesh
     from repro.workloads.spmv import SpMVWorkload
 
@@ -190,12 +255,27 @@ def _bench_workloads(smoke):
     fig11_indices = rng.integers(0, 65536, size=512)
     fig11 = MachineConfig.uniform(latency=256, interval=2)
 
+    if network is None:
+        network = NetworkConfig(nodes=8, topology="tree", tree_radix=4,
+                                combine_site="both", link_bw_words=2)
+    multinode = table1.with_changes(network=network)
+    # Skewed trace (80% of references to 8 hot indices): the regime where
+    # in-network combining matters, so the bench exercises the merge path.
+    targets = max(64, network.nodes * 16)
+    refs = network.nodes * (16 if smoke else 64)
+    hot = rng.integers(0, targets, size=8)
+    pick = rng.random(refs) < 0.8
+    net_indices = np.where(pick, hot[rng.integers(0, 8, size=refs)],
+                           rng.integers(0, targets, size=refs))
+
     return [
         ("histogram", lambda: Simulation(table1).run(
             "scatter_add", hist_indices, 1.0, num_targets=2048).cycles),
         ("spmv_ebe_hw", lambda: spmv.run_ebe_hardware(table1).cycles),
         ("fig11_latency256", lambda: Simulation(fig11).run(
             "scatter_add", fig11_indices, 1.0, num_targets=65536).cycles),
+        ("network_ablation", lambda: Simulation(multinode).run(
+            "scatter_add", net_indices, 1.0, num_targets=targets).cycles),
     ]
 
 
@@ -316,9 +396,14 @@ def _cmd_bench(args):
         "both": ("event", "columnar"),
         "all": SCHEDULERS,
     }[args.engine]
+    # Flags the user leaves unset fall back to the bench's default
+    # multi-node case (radix-4 tree, 8 nodes, combining everywhere).
+    network = _validate_network_args(
+        args, nodes=8, topology="tree", tree_radix=4,
+        combine_site="both", link_bw_words=2)
     results = {"schema": BENCH_SCHEMA, "smoke": bool(args.smoke),
                "engines": list(engines), "workloads": {}}
-    for name, runner in _bench_workloads(args.smoke):
+    for name, runner in _bench_workloads(args.smoke, network=network):
         entry = {}
         for scheduler in engines:
             with use_scheduler(scheduler):
@@ -380,7 +465,8 @@ def _cmd_bench(args):
         with observe(sample_every=sample_every,
                      trace=bool(args.trace_out),
                      trace_requests=args.trace_requests) as observation:
-            for name, runner in _bench_workloads(args.smoke):
+            for name, runner in _bench_workloads(args.smoke,
+                                                 network=network):
                 runner()
         _export_observation(args, observation)
     if args.check:
@@ -491,6 +577,26 @@ def _cmd_compare(args):
     return 0
 
 
+def _add_network_arguments(parser):
+    """Multi-node flags, shared by ``run`` and ``bench``.
+
+    Defaults are ``None`` (flag absent) so commands can distinguish "not
+    requested" from an explicit value; the combination is validated by
+    constructing a :class:`~repro.config.NetworkConfig`.
+    """
+    parser.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="simulate N scatter-add nodes joined by the interconnect")
+    parser.add_argument(
+        "--topology", default=None, choices=("crossbar", "tree"),
+        help="interconnect topology (tree is the radix-4 reduction tree)")
+    parser.add_argument(
+        "--combine-site", default=None,
+        choices=("memory", "network", "both"),
+        help="where same-index scatter requests merge: the home node's "
+             "combining store, the switches' combining tables, or both")
+
+
 def _add_obs_arguments(parser):
     parser.add_argument(
         "--trace-out", default=None, metavar="FILE",
@@ -523,6 +629,7 @@ def build_parser():
                      help="experiment name (see 'list') or 'all'")
     run.add_argument("--out-dir", default=None,
                      help="also write rendered tables to this directory")
+    _add_network_arguments(run)
     _add_obs_arguments(run)
 
     simulate = commands.add_parser(
@@ -557,6 +664,7 @@ def build_parser():
         "--check", default=None, metavar="BASELINE",
         help="fail (exit 1) when cycle counts drift >25%% or wall time "
              "exceeds 2x the committed baseline JSON")
+    _add_network_arguments(bench)
     _add_obs_arguments(bench)
 
     area = commands.add_parser("area", help="die-area estimate")

@@ -14,6 +14,7 @@ the Merrimac scatter-add unit).
 import hashlib
 import json
 from dataclasses import dataclass, fields, replace
+from typing import Optional
 
 #: Bytes per machine word (64-bit floating point / integer).
 WORD_BYTES = 8
@@ -23,7 +24,105 @@ WORD_BYTES = 8
 #: schema generations can never collide — a cache keyed on
 #: :meth:`MachineConfig.canonical_hash` is invalidated wholesale instead of
 #: silently serving results computed under other semantics.
+#:
+#: Optional sub-structures that are *omitted* from the canonical form when
+#: unset (such as :attr:`MachineConfig.network`) do not require a bump:
+#: configs that never set them serialize byte-identically across schema
+#: generations, which is exactly the stability the service cache needs.
 CONFIG_SCHEMA = "repro.config/1"
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Structured description of the multi-node interconnect.
+
+    Replaces the loose ``nodes``/``network_bw_words`` scalars of
+    :class:`MachineConfig` (which remain as mirrored deprecation shims).
+    Nested under :attr:`MachineConfig.network`::
+
+        MachineConfig(network=NetworkConfig(nodes=64, topology="tree",
+                                            tree_radix=4,
+                                            combine_site="both"))
+
+    Attributes
+    ----------
+    nodes:
+        Number of stream-processor nodes.
+    topology:
+        ``"crossbar"`` — the paper's single input-queued switch — or
+        ``"tree"`` — a reduction tree of combining switches with
+        configurable radix.  The crossbar is the degenerate tree (a single
+        switch reaching every leaf).
+    tree_radix:
+        Children per tree switch (>= 2); ignored for the crossbar.
+    combine_site:
+        Where same-address scatter requests merge. ``"memory"`` — only at
+        the home node's scatter-add unit (the paper's Section 4.5
+        mechanism; bit-identical to the legacy network path).
+        ``"network"`` — only in router combining tables; the home unit's
+        combining-store chaining is disabled. ``"both"`` — routers merge in
+        flight *and* the home unit chains.
+    combining_table_entries:
+        Per-output combining-table entries in each switch (>= 1).  The
+        table doubles as the switch's output queue, so it also bounds
+        in-switch buffering when combining is off.
+    link_bw_words:
+        Per-node link bandwidth in words/cycle (the paper sweeps 1 and 8).
+    """
+
+    nodes: int = 1
+    topology: str = "crossbar"
+    tree_radix: int = 4
+    combine_site: str = "memory"
+    combining_table_entries: int = 16
+    link_bw_words: int = 8
+
+    def __post_init__(self):
+        _require(self.nodes >= 1, "network nodes must be >= 1")
+        _require(self.topology in ("crossbar", "tree"),
+                 "topology must be 'crossbar' or 'tree'")
+        _require(self.tree_radix >= 2, "tree_radix must be >= 2")
+        _require(self.combine_site in ("memory", "network", "both"),
+                 "combine_site must be 'memory', 'network' or 'both'")
+        _require(self.combining_table_entries >= 1,
+                 "combining_table_entries must be >= 1")
+        _require(self.link_bw_words >= 1, "link_bw_words must be >= 1")
+
+    @property
+    def network_combining(self):
+        """True when routers hold combining tables (site network/both)."""
+        return self.combine_site in ("network", "both")
+
+    @property
+    def memory_combining(self):
+        """True when the home scatter-add unit chains (site memory/both)."""
+        return self.combine_site in ("memory", "both")
+
+    def with_changes(self, **changes):
+        """Return a copy with the given fields replaced (and re-validated)."""
+        return replace(self, **changes)
+
+    def to_dict(self):
+        """Every field as a plain, JSON-serializable dict (sorted keys)."""
+        return {field.name: getattr(self, field.name)
+                for field in sorted(fields(self), key=lambda f: f.name)}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from :meth:`to_dict` output (re-validated).
+
+        Missing fields take their defaults; unknown keys are rejected
+        loudly, mirroring :meth:`MachineConfig.from_dict`.
+        """
+        if not isinstance(data, dict):
+            raise TypeError("NetworkConfig.from_dict wants a dict, got %s"
+                            % type(data).__name__)
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError("unknown NetworkConfig field(s): %s"
+                             % ", ".join(unknown))
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -90,9 +189,13 @@ class MachineConfig:
     stream_op_overhead: int = 220
 
     # --- multi-node parameters (Section 4.5) --------------------------------
+    #: Deprecated scalar spelling; prefer ``network=NetworkConfig(nodes=N)``.
+    #: When :attr:`network` is set this mirrors ``network.nodes``.
     nodes: int = 1
     #: Per-node network bandwidth in words/cycle.  The paper evaluates
-    #: 1 word/cycle ("low") and 8 words/cycle ("high").
+    #: 1 word/cycle ("low") and 8 words/cycle ("high").  Deprecated scalar
+    #: spelling; when :attr:`network` is set this mirrors
+    #: ``network.link_bw_words``.
     network_bw_words: int = 8
     #: Two-phase cache-combining optimisation (Section 3.2, multi-node).
     cache_combining: bool = False
@@ -101,8 +204,35 @@ class MachineConfig:
     #: cross-node combining costs O(log N) instead of O(N) messages per
     #: address.  Requires cache_combining.
     hierarchical_combining: bool = False
+    #: Structured interconnect description (:class:`NetworkConfig`); also
+    #: accepts a plain dict.  ``None`` means "the legacy scalars describe
+    #: the network" — use :attr:`network_config` for a resolved view.  The
+    #: canonical serialization omits this field when unset so existing
+    #: configs keep their :meth:`canonical_hash` byte-identically.
+    network: Optional[NetworkConfig] = None
 
     def __post_init__(self):
+        network = self.network
+        if isinstance(network, dict):
+            network = NetworkConfig.from_dict(network)
+            object.__setattr__(self, "network", network)
+        if network is not None:
+            _require(isinstance(network, NetworkConfig),
+                     "network must be a NetworkConfig (or dict of its fields)")
+            # The legacy scalars mirror the structured form so every
+            # existing config.nodes / config.network_bw_words reader keeps
+            # working.  Explicitly passing a *conflicting* scalar alongside
+            # `network` is an error (defaults are 1 and 8).
+            _require(self.nodes in (1, network.nodes),
+                     "nodes=%r conflicts with network.nodes=%r"
+                     % (self.nodes, network.nodes))
+            _require(self.network_bw_words in (8, network.link_bw_words),
+                     "network_bw_words=%r conflicts with "
+                     "network.link_bw_words=%r"
+                     % (self.network_bw_words, network.link_bw_words))
+            object.__setattr__(self, "nodes", network.nodes)
+            object.__setattr__(self, "network_bw_words",
+                               network.link_bw_words)
         _require(self.cache_banks >= 1, "cache_banks must be >= 1")
         _require(
             self.cache_banks & (self.cache_banks - 1) == 0,
@@ -180,15 +310,41 @@ class MachineConfig:
         """Convert a cycle count to microseconds at this clock."""
         return cycles * self.cycle_time_us
 
+    @property
+    def network_config(self):
+        """The resolved :class:`NetworkConfig`, whichever spelling was used.
+
+        Returns :attr:`network` when set; otherwise synthesizes the
+        degenerate crossbar description from the legacy scalars.  This is
+        the accessor the multi-node system builds from.
+        """
+        if self.network is not None:
+            return self.network
+        return NetworkConfig(nodes=self.nodes,
+                             link_bw_words=self.network_bw_words)
+
     def with_changes(self, **changes):
         """Return a copy with the given fields replaced (and re-validated)."""
         return replace(self, **changes)
 
     # --- serialization -------------------------------------------------------
     def to_dict(self):
-        """Every field as a plain, JSON-serializable dict (sorted keys)."""
-        return {field.name: getattr(self, field.name)
-                for field in sorted(fields(self), key=lambda f: f.name)}
+        """Every field as a plain, JSON-serializable dict (sorted keys).
+
+        The optional ``network`` sub-structure is omitted when unset (so
+        configs predating it — and configs not using it — serialize, and
+        therefore hash, exactly as before) and nested as a plain dict when
+        set.
+        """
+        data = {}
+        for field in sorted(fields(self), key=lambda f: f.name):
+            value = getattr(self, field.name)
+            if field.name == "network":
+                if value is None:
+                    continue
+                value = value.to_dict()
+            data[field.name] = value
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -249,10 +405,28 @@ class MachineConfig:
     @classmethod
     def multinode(cls, nodes, network_bw_words=8, cache_combining=False,
                   hierarchical_combining=False):
-        """A multi-node system of Table 1 nodes (Section 4.5)."""
+        """A multi-node system of Table 1 nodes (Section 4.5).
+
+        Deprecated: spell the interconnect structurally instead ::
+
+            MachineConfig(network=NetworkConfig(nodes=N, link_bw_words=B),
+                          cache_combining=..., hierarchical_combining=...)
+
+        The shim warns through :func:`repro._compat.warn_deprecated` and
+        builds the equivalent structured config (crossbar topology,
+        memory-side combining) — behaviorally identical to the legacy
+        scalars.
+        """
+        from repro import _compat
+
+        _compat.warn_deprecated(
+            "MachineConfig.multinode()",
+            "MachineConfig(network=NetworkConfig(nodes=..., "
+            "link_bw_words=...))",
+        )
         return cls(
-            nodes=nodes,
-            network_bw_words=network_bw_words,
+            network=NetworkConfig(nodes=nodes,
+                                  link_bw_words=network_bw_words),
             cache_combining=cache_combining,
             hierarchical_combining=hierarchical_combining,
         )

@@ -12,9 +12,30 @@ completes in the functional unit.  The store maintains per-address arrival
 order (the paper's "simple ordering mechanism" that makes a single CAM
 lookup suffice), so chained additions to the same address complete in
 arrival order -- making every run deterministic, as Section 3.3 promises.
+
+:class:`CombiningTable` is the store's *network-side* sibling: a bounded
+CAM-indexed output queue held by each switch of the interconnect, merging
+same-address scatter requests while they wait for link bandwidth
+(NYU-Ultracomputer-style in-network combining).
 """
 
 from collections import deque
+
+from repro.memory.request import (
+    OP_SCATTER_ADD,
+    OP_SCATTER_MAX,
+    OP_SCATTER_MIN,
+    OP_SCATTER_MUL,
+    combine,
+)
+
+#: Operations a network combining table may merge.  Fetch-add is excluded:
+#: its acknowledgement carries the *global pre-update* value, which only
+#: the home node's scatter-add unit can produce, so fetch-adds must reach
+#: memory individually.  Reads and writes are not reductions at all.
+NETWORK_COMBINABLE_OPS = frozenset(
+    (OP_SCATTER_ADD, OP_SCATTER_MIN, OP_SCATTER_MAX, OP_SCATTER_MUL)
+)
 
 
 class _Entry:
@@ -134,4 +155,94 @@ class CombiningStore:
     def __repr__(self):
         return "CombiningStore(%d/%d occupied, %d addresses waiting)" % (
             self.occupancy, self.capacity, len(self._waiting),
+        )
+
+
+class CombiningTable:
+    """A switch's bounded output queue with in-flight request merging.
+
+    Requests leave in arrival order (it *is* the output queue), but while
+    one waits for link bandwidth a newly arriving request for the same
+    (op, addr) merges into it via the operation's reduction --
+    ``combine(op, old, new)`` -- instead of occupying a second entry.
+    Merging is exact because every combinable operation is associative and
+    commutative (:data:`NETWORK_COMBINABLE_OPS`); fetch-adds, reads and
+    writes are never merged and simply queue.
+
+    The CAM index tracks one waiting entry per merge key; requests whose
+    operand has already been drained into the link pipe are past merging,
+    exactly like combining-store entries past FU issue.
+    """
+
+    __slots__ = ("capacity", "merges", "peak_occupancy", "_queue", "_index")
+
+    def __init__(self, entries):
+        if entries < 1:
+            raise ValueError("combining table needs >= 1 entry")
+        self.capacity = entries
+        self.merges = 0
+        self.peak_occupancy = 0
+        self._queue = deque()
+        self._index = {}  # merge key -> waiting MemoryRequest
+
+    @staticmethod
+    def merge_key(request):
+        """CAM key: operation, address, and routing/combining intent.
+
+        A cache-combining delta (``combining=True``) must not merge with a
+        direct home-bound update for the same address -- they take
+        different paths at the destination -- and hierarchically-routed
+        partial sums only merge when bound for the same intermediate node.
+        """
+        return (request.op, request.addr, request.combining,
+                request.route_to)
+
+    @staticmethod
+    def mergeable(request):
+        return request.op in NETWORK_COMBINABLE_OPS
+
+    def try_merge(self, request):
+        """Fold `request` into a waiting same-key entry; True on success."""
+        if request.op not in NETWORK_COMBINABLE_OPS:
+            return False
+        waiting = self._index.get(self.merge_key(request))
+        if waiting is None:
+            return False
+        waiting.value = combine(request.op, waiting.value, request.value)
+        self.merges += 1
+        return True
+
+    def append(self, request):
+        """Queue a request (callers must check :attr:`full` and stall)."""
+        if len(self._queue) >= self.capacity:
+            raise OverflowError("combining table full")
+        self._queue.append(request)
+        if request.op in NETWORK_COMBINABLE_OPS:
+            self._index[self.merge_key(request)] = request
+        occupancy = len(self._queue)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
+
+    def pop(self):
+        """Dequeue the oldest request; it can no longer absorb merges."""
+        request = self._queue.popleft()
+        if request.op in NETWORK_COMBINABLE_OPS:
+            key = self.merge_key(request)
+            if self._index.get(key) is request:
+                del self._index[key]
+        return request
+
+    @property
+    def full(self):
+        return len(self._queue) >= self.capacity
+
+    def __len__(self):
+        return len(self._queue)
+
+    def __bool__(self):
+        return bool(self._queue)
+
+    def __repr__(self):
+        return "CombiningTable(%d/%d queued, %d merges)" % (
+            len(self._queue), self.capacity, self.merges,
         )

@@ -16,6 +16,7 @@ from repro.harness.experiments import (
     figure11,
     figure12,
     figure13,
+    network_ablation,
     table1,
 )
 from repro.harness.figures import bar_chart, line_chart
@@ -39,5 +40,6 @@ __all__ = [
     "figure8",
     "figure9",
     "format_table",
+    "network_ablation",
     "table1",
 ]

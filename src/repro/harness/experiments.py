@@ -354,6 +354,141 @@ def figure13(node_counts=(1, 2, 4, 8), series=FIGURE13_SERIES, scale=1.0,
     )
 
 
+def _ablation_trace(kind, nodes, refs_per_node, seed):
+    """A scatter trace for one ablation point: (indices, num_targets).
+
+    ``uniform`` spreads references evenly over the whole index range (one
+    home node is as likely as another); ``skewed`` sends 80% of them to 8
+    hot indices, so nearly all traffic converges on a couple of home
+    nodes -- the regime where merging requests *in flight* pays off.
+    """
+    rng = np.random.default_rng(seed)
+    refs = nodes * refs_per_node
+    targets = max(64, nodes * 16)
+    uniform = rng.integers(0, targets, size=refs)
+    if kind == "uniform":
+        return uniform, targets
+    if kind == "skewed":
+        hot = rng.integers(0, targets, size=8)
+        pick = rng.random(refs) < 0.8
+        return np.where(pick, hot[rng.integers(0, 8, size=refs)],
+                        uniform), targets
+    raise ValueError("unknown ablation workload %r" % (kind,))
+
+
+#: Combine sites the network ablation sweeps, in presentation order.
+ABLATION_SITES = ("memory", "network", "both")
+
+
+def network_ablation(node_counts=(4, 16, 64, 256, 1024),
+                     workloads=("uniform", "skewed"),
+                     sites=ABLATION_SITES,
+                     topology="tree", tree_radix=4, link_bw_words=2,
+                     refs_per_node=32, seed=0):
+    """Where should scatter requests combine: memory, network, or both?
+
+    Sweeps the combine site over node counts and index-range skew on a
+    fixed reduction-tree interconnect.  Each node's machine is shrunk to
+    one bank / one channel / one AGU so the interconnect (not the node
+    pipeline) dominates, and every run's result is checked exactly
+    against the numpy reference (values are 1.0, so summation order
+    cannot perturb the float sums).
+
+    The paper's Section 4.5 combines only at the memory-side unit;
+    Tascade-style in-network reduction trees merge hot-index requests in
+    flight before they reach the home node.  On the skewed workload the
+    run *asserts* that network combining absorbs requests
+    (``sim.network.combined_in_flight`` > 0) and reduces home-node
+    request traffic (``sim.network.delivered``) versus the memory-only
+    baseline at the same node count.
+    """
+    from repro.api import scatter_add_reference
+    from repro.config import NetworkConfig
+
+    rows = []
+    for nodes in node_counts:
+        for kind in workloads:
+            indices, targets = _ablation_trace(kind, nodes, refs_per_node,
+                                               seed)
+            reference = scatter_add_reference(np.zeros(targets), indices,
+                                              1.0)
+            row = {"nodes": nodes, "workload": kind}
+            delivered = {}
+            for site in sites:
+                config = MachineConfig(
+                    cache_banks=1, dram_channels=1, address_generators=1,
+                    network=NetworkConfig(
+                        nodes=nodes, topology=topology,
+                        tree_radix=tree_radix, combine_site=site,
+                        link_bw_words=link_bw_words,
+                    ),
+                )
+                system = MultiNodeSystem(config, address_space=targets)
+                run = system.scatter_add(indices, 1.0,
+                                         num_targets=targets)
+                _check(run.result, reference,
+                       "network_ablation %s nodes=%d site=%s"
+                       % (kind, nodes, site))
+                stats = run.stats.as_dict()
+                row[site] = run.cycles
+                delivered[site] = stats.get("sim.network.delivered", 0)
+                if site == "both":
+                    row["combined"] = int(
+                        stats.get("sim.network.combined_in_flight", 0))
+                    if kind == "skewed":
+                        if row["combined"] <= 0:
+                            raise AssertionError(
+                                "network_ablation nodes=%d: no in-flight "
+                                "combining on the skewed workload" % nodes)
+            if kind == "skewed" and "memory" in delivered:
+                for site in ("network", "both"):
+                    if site in delivered and (delivered[site]
+                                              >= delivered["memory"]):
+                        raise AssertionError(
+                            "network_ablation nodes=%d site=%s: home-node "
+                            "traffic %d not below memory-only %d"
+                            % (nodes, site, delivered[site],
+                               delivered["memory"]))
+            row["home_drop_pct"] = (
+                100.0 * (1.0 - delivered.get("both", 0)
+                         / delivered["memory"])
+                if delivered.get("memory") else 0.0)
+            rows.append(row)
+    columns = ["nodes", "workload"] + list(sites) + ["combined",
+                                                     "home_drop_pct"]
+    result = ExperimentResult(
+        "network_ablation",
+        "Combine-site ablation, %s radix-%d (cycles)" % (topology,
+                                                         tree_radix),
+        columns, rows,
+        notes="per-node machine shrunk to 1 bank / 1 channel / 1 AGU; "
+              "%d refs/node (weak scaling), link %d words/cycle; "
+              "'combined' counts requests merged in flight at "
+              "combine-site both; home_drop_pct is the home-node traffic "
+              "reduction of 'both' vs memory-only"
+              % (refs_per_node, link_bw_words),
+    )
+    result.notes += "\n\n" + _ablation_figure(result, workloads, sites)
+    return result
+
+
+def _ablation_figure(result, workloads, sites):
+    """ASCII companion figure: cycles vs nodes, one chart per workload."""
+    from repro.harness.figures import line_chart
+
+    charts = []
+    for kind in workloads:
+        view = ExperimentResult(
+            result.exp_id, "%s workload — cycles vs nodes" % kind,
+            result.columns,
+            [row for row in result.rows if row["workload"] == kind],
+        )
+        if len(view.rows) >= 2:
+            charts.append(line_chart(view, "nodes", list(sites),
+                                     logx=True, logy=True))
+    return "\n\n".join(charts)
+
+
 def _check(actual, expected, label, atol=0.0):
     """Assert a run's functional output matches the numpy reference."""
     actual = np.asarray(actual, dtype=np.float64)

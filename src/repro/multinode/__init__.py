@@ -1,10 +1,14 @@
 """Multi-node scatter-add (Sections 3.2 and 4.5).
 
-A :class:`~repro.multinode.system.MultiNodeSystem` instantiates 2-8 Table 1
-nodes around an input-queued crossbar.  Atomicity across nodes holds
-because "a node can only directly access its own part of the global
-memory": every remote scatter-add is routed through the *home* node's
-scatter-add unit.
+A :class:`~repro.multinode.system.MultiNodeSystem` instantiates Table 1
+nodes around the interconnect a
+:class:`~repro.config.NetworkConfig` describes -- the input-queued
+crossbar or a radix-r reduction tree of combining switches
+(:mod:`repro.network.fabric`).  Atomicity across nodes holds because "a
+node can only directly access its own part of the global memory": every
+remote scatter-add is routed through the *home* node's scatter-add unit
+(with ``combine_site="network"``/``"both"``, same-index requests may
+merge in flight at the switches on the way there).
 
 With ``cache_combining=True`` the two-phase optimisation is enabled: remote
 scatter-adds combine in the local cache (lines allocated at zero), partial

@@ -4,8 +4,30 @@
 Per-node bandwidth is configurable: the paper evaluates 1 word/cycle
 ("low") and 8 words/cycle ("high", enough to satisfy scatter-add requests
 at full bandwidth).
+
+Beyond the paper, :mod:`repro.network.fabric` adds in-network combining
+and reduction-tree topologies: switches whose output queues are combining
+tables that merge same-address scatter requests in flight.  The topology
+and combine site are selected by :class:`repro.config.NetworkConfig`;
+:func:`build_network` is the factory, and the classic crossbar is its
+degenerate (and bit-exact legacy) case.
 """
 
-from repro.network.crossbar import Crossbar
+from repro.network.crossbar import HOP_LATENCY, Crossbar
+from repro.network.fabric import (
+    TREE_HOP_LATENCY,
+    Fabric,
+    NetworkMetrics,
+    Switch,
+    build_network,
+)
 
-__all__ = ["Crossbar"]
+__all__ = [
+    "Crossbar",
+    "Fabric",
+    "HOP_LATENCY",
+    "NetworkMetrics",
+    "Switch",
+    "TREE_HOP_LATENCY",
+    "build_network",
+]

@@ -9,6 +9,11 @@ stalls its whole input port: classic input-queued head-of-line blocking,
 which is part of why the low-bandwidth configurations stop scaling.
 
 Requests traverse the switch with a fixed pipeline latency.
+
+This is the degenerate case of the :mod:`repro.network.fabric` topology
+family (``NetworkConfig(topology="crossbar", combine_site="memory")``);
+:func:`~repro.network.fabric.build_network` instantiates this class
+unchanged on that path, so legacy multi-node runs stay bit-identical.
 """
 
 from repro.sim.engine import Component

@@ -64,6 +64,8 @@ STAGE_KINDS = {
     "nif.queue": "queue",
     "xbar.queue": "queue",
     "xbar.hop": "service",
+    "net.queue": "queue",
+    "net.hop": "service",
     "sau.queue": "queue",
     "store.wait": "queue",
     "fu": "service",

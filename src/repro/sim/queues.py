@@ -231,6 +231,11 @@ class LatencyPipe:
         return item
 
     @property
+    def occupancy(self):
+        """Entries in the pipe, whether still delayed or ready to pop."""
+        return len(self._in_flight) + len(self._ready)
+
+    @property
     def idle(self):
         return not self._in_flight and not self._ready
 

@@ -115,7 +115,7 @@ class TestBench:
         assert report["smoke"] is True
         workloads = report["workloads"]
         assert set(workloads) == {"histogram", "spmv_ebe_hw",
-                                  "fig11_latency256"}
+                                  "fig11_latency256", "network_ablation"}
         for entry in workloads.values():
             # Every scheduler simulates the identical workload.
             assert entry["event"]["cycles"] == entry["legacy"]["cycles"]

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.config import WORD_BYTES, MachineConfig
+from repro.config import WORD_BYTES, MachineConfig, NetworkConfig
 
 
 class TestTable1Defaults:
@@ -93,11 +93,14 @@ class TestPresets:
         assert config.combining_store_entries == 16
 
     def test_multinode_preset(self):
-        config = MachineConfig.multinode(4, network_bw_words=1,
-                                         cache_combining=True)
+        with pytest.deprecated_call():
+            config = MachineConfig.multinode(4, network_bw_words=1,
+                                             cache_combining=True)
         assert config.nodes == 4
         assert config.network_bw_words == 1
         assert config.cache_combining
+        # The shim routes through the structured spelling.
+        assert config.network == NetworkConfig(nodes=4, link_bw_words=1)
 
 
 class TestSerialization:
@@ -107,8 +110,20 @@ class TestSerialization:
         config = MachineConfig.table1()
         data = config.to_dict()
         names = [field.name for field in dataclasses.fields(MachineConfig)]
-        assert list(data) == sorted(names)
+        # The optional `network` sub-structure is omitted while unset, so
+        # legacy configs serialize (and hash) exactly as they always did.
+        assert list(data) == sorted(name for name in names
+                                    if name != "network")
         assert all(data[name] == getattr(config, name) for name in data)
+
+    def test_to_dict_nests_network_when_set(self):
+        config = MachineConfig(network=NetworkConfig(nodes=8,
+                                                     topology="tree"))
+        data = config.to_dict()
+        names = [field.name for field in dataclasses.fields(MachineConfig)]
+        assert list(data) == sorted(names)
+        assert data["network"] == config.network.to_dict()
+        assert data["nodes"] == 8  # mirrored scalar
 
     def test_from_dict_round_trips(self):
         config = MachineConfig.uniform(latency=64, interval=4)
@@ -142,3 +157,79 @@ class TestSerialization:
             uniform_latency=100)
         assert via_kwargs.canonical_hash() == via_dict.canonical_hash()
         assert via_kwargs.canonical_hash() == via_changes.canonical_hash()
+
+
+class TestNetworkConfig:
+    """The structured interconnect description and its MachineConfig nest."""
+
+    def test_defaults_are_the_degenerate_crossbar(self):
+        net = NetworkConfig()
+        assert net.nodes == 1
+        assert net.topology == "crossbar"
+        assert net.combine_site == "memory"
+        assert not net.network_combining
+        assert net.memory_combining
+
+    @pytest.mark.parametrize("kwargs", [
+        {"nodes": 0},
+        {"topology": "mesh"},
+        {"tree_radix": 1},
+        {"combine_site": "everywhere"},
+        {"combining_table_entries": 0},
+        {"link_bw_words": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkConfig(**kwargs)
+
+    def test_round_trip_and_unknown_keys(self):
+        net = NetworkConfig(nodes=16, topology="tree", tree_radix=8,
+                            combine_site="both", link_bw_words=1)
+        assert NetworkConfig.from_dict(net.to_dict()) == net
+        with pytest.raises(ValueError, match="no_such_field"):
+            NetworkConfig.from_dict({"no_such_field": 1})
+
+    def test_machine_config_accepts_plain_dict(self):
+        config = MachineConfig(network={"nodes": 4, "topology": "tree"})
+        assert config.network == NetworkConfig(nodes=4, topology="tree")
+        assert config.nodes == 4
+
+    def test_scalars_mirror_network(self):
+        net = NetworkConfig(nodes=64, link_bw_words=1)
+        config = MachineConfig(network=net)
+        assert config.nodes == 64
+        assert config.network_bw_words == 1
+        assert config.network_config is net
+
+    def test_conflicting_scalars_rejected(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            MachineConfig(nodes=2, network=NetworkConfig(nodes=4))
+        with pytest.raises(ValueError, match="conflicts"):
+            MachineConfig(network_bw_words=2,
+                          network=NetworkConfig(link_bw_words=4))
+
+    def test_network_config_resolves_legacy_scalars(self):
+        config = MachineConfig(nodes=4, network_bw_words=1)
+        net = config.network_config
+        assert config.network is None
+        assert net == NetworkConfig(nodes=4, link_bw_words=1)
+
+    def test_hash_stable_for_configs_without_network(self):
+        # Pinned digest: adding the NetworkConfig field must not churn
+        # service cache keys of configs that never set it.
+        base = MachineConfig.table1()
+        assert "network" not in base.to_dict()
+        legacy = MachineConfig(nodes=4, network_bw_words=1)
+        assert "network" not in legacy.to_dict()
+        structured = MachineConfig(
+            network=NetworkConfig(nodes=4, link_bw_words=1))
+        assert structured.canonical_hash() != legacy.canonical_hash()
+
+    def test_round_trip_with_network(self):
+        config = MachineConfig(
+            cache_combining=True,
+            network=NetworkConfig(nodes=8, topology="tree",
+                                  combine_site="network"))
+        rebuilt = MachineConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.canonical_hash() == config.canonical_hash()

@@ -17,6 +17,7 @@ from repro.harness import (
     figure12,
     figure13,
     format_table,
+    network_ablation,
     table1,
 )
 
@@ -180,6 +181,33 @@ class TestFigure13:
     def test_combining_beats_plain_on_low_bandwidth(self, result):
         last = result.rows[-1]
         assert last["narrow-low-comb"] > last["narrow-low"]
+
+
+class TestNetworkAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return network_ablation(node_counts=(4, 16), refs_per_node=16)
+
+    def test_shape(self, result):
+        assert result.columns == ["nodes", "workload", "memory", "network",
+                                  "both", "combined", "home_drop_pct"]
+        assert len(result.rows) == 4  # 2 node counts x 2 workloads
+
+    def test_in_network_combining_merges_on_skew(self, result):
+        skewed = [row for row in result.rows if row["workload"] == "skewed"]
+        for row in skewed:
+            assert row["combined"] > 0
+            assert row["home_drop_pct"] > 0
+
+    def test_combining_helps_more_at_scale(self, result):
+        skewed = [row for row in result.rows if row["workload"] == "skewed"]
+        speedups = [row["memory"] / row["both"] for row in skewed]
+        assert speedups[-1] >= speedups[0]
+
+    def test_render_includes_figure(self, result):
+        text = result.render()
+        assert "network_ablation" in text
+        assert "log x, log y" in text
 
 
 class TestFormatting:

@@ -99,3 +99,82 @@ class TestScalingShapes:
             run.refs * 8.0 / run.cycles, rel=1e-9)
         assert run.additions_per_cycle == pytest.approx(
             run.refs / run.cycles, rel=1e-9)
+
+
+class TestRunSerialization:
+    """MultiNodeRun shares ScatterRun's to_dict/save/load contract."""
+
+    def make_run(self):
+        rng = np.random.default_rng(2)
+        indices = rng.integers(0, 96, size=256)
+        return run_system(indices, 96, nodes=4, bw=2)
+
+    def test_round_trips_through_dict(self):
+        from repro.multinode.system import MULTI_RUN_SCHEMA, MultiNodeRun
+
+        run = self.make_run()
+        data = run.to_dict()
+        assert data["schema"] == MULTI_RUN_SCHEMA
+        rebuilt = MultiNodeRun.from_dict(data)
+        assert rebuilt.to_dict() == data
+        assert rebuilt.cycles == run.cycles
+        np.testing.assert_array_equal(rebuilt.result, run.result)
+
+    def test_save_load(self, tmp_path):
+        from repro.multinode.system import MultiNodeRun
+
+        run = self.make_run()
+        path = tmp_path / "run.json"
+        run.save(path)
+        loaded = MultiNodeRun.load(path)
+        assert loaded.to_dict() == run.to_dict()
+
+    def test_from_dict_rejects_other_schemas(self):
+        from repro.multinode.system import MultiNodeRun
+
+        with pytest.raises(ValueError):
+            MultiNodeRun.from_dict({"schema": "repro.run/1"})
+
+    def test_write_metrics_validates(self, tmp_path):
+        from repro.obs.export import validate_metrics
+
+        run = self.make_run()
+        path = tmp_path / "metrics.json"
+        payload = run.write_metrics(path)
+        validate_metrics(payload)
+        assert path.exists()
+
+
+class TestSimulationDispatch:
+    """Simulation.run serves multi-node configs transparently."""
+
+    def test_returns_multinode_run(self):
+        from repro.api import Simulation
+        from repro.config import NetworkConfig
+        from repro.multinode.system import MultiNodeRun
+
+        rng = np.random.default_rng(4)
+        indices = rng.integers(0, 64, size=200)
+        run = Simulation({"network": {"nodes": 4, "link_bw_words": 2}}).run(
+            "scatter_add", indices, 1.0, num_targets=64)
+        assert isinstance(run, MultiNodeRun)
+        expected = scatter_add_reference(np.zeros(64), indices, 1.0)
+        np.testing.assert_array_equal(run.result, expected)
+        assert run.config.network == NetworkConfig(nodes=4,
+                                                   link_bw_words=2)
+
+    def test_initial_array_honoured(self):
+        from repro.api import Simulation
+
+        initial = np.arange(8, dtype=np.float64)
+        run = Simulation({"nodes": 2}).run(
+            "scatter_add", [0, 1, 1], 1.0, num_targets=8, initial=initial)
+        expected = scatter_add_reference(initial.copy(), [0, 1, 1], 1.0)
+        np.testing.assert_array_equal(run.result, expected)
+
+    def test_non_add_ops_rejected_multinode(self):
+        from repro.api import Simulation
+
+        with pytest.raises(ValueError, match="scatter_add"):
+            Simulation({"nodes": 2}).run("scatter_min", [0, 1], 1.0,
+                                         num_targets=4)

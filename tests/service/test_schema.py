@@ -90,6 +90,7 @@ class TestKeyStability:
             "cache_banks": {"cache_banks": base.cache_banks * 2},
             "hierarchical_combining": {"hierarchical_combining": True,
                                        "cache_combining": True},
+            "network": {"network": {"nodes": 2}},
         }
         if field in alternates:
             override = alternates[field]
@@ -224,3 +225,23 @@ class TestExecuteJob:
             type="sweep", field="uniform_latency", points=[16]))
         with pytest.raises(JobError):
             execute_job(sweep)
+
+    def test_multinode_job_served_end_to_end(self):
+        # A nested network config rides through canonicalisation, the
+        # key, and execution: the service returns a MultiNodeRun payload
+        # with the sim.network.* counters intact.
+        spec = {
+            "op": "scatter_add",
+            "indices": [1] * 40 + list(range(24)),
+            "num_targets": 32,
+            "sim": {"config": {"network": {
+                "nodes": 4, "topology": "tree", "combine_site": "both",
+                "link_bw_words": 1}}},
+        }
+        job = canonical_job(spec)
+        payload = execute_job(job)
+        assert payload["schema"] == "repro.multirun/1"
+        assert payload["stats"]["sim.network.combined_in_flight"] > 0
+        assert sum(payload["result"]) == len(spec["indices"])
+        # Same spec, same key: multi-node jobs are cacheable too.
+        assert job_key(job) == job_key(canonical_job(spec))
