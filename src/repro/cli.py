@@ -10,9 +10,12 @@ Usage::
     python -m repro bench --smoke --out results/engine_bench.json
     python -m repro bench --smoke --check benchmarks/baseline.json
     python -m repro area --units 8 --entries 8
-    python -m repro serve --port 8642 --cache-dir ~/.cache/repro
+    python -m repro serve --port 8642 --cache-dir ~/.cache/repro \
+        --log-json results/service.ndjson --baseline benchmarks/baseline.json
     python -m repro submit --updates 4096 --range 2048
     python -m repro submit --spec job.json --server http://host:8642
+    python -m repro slo --check --server http://host:8642
+    python -m repro top --interval 2
 
 ``run`` regenerates a paper experiment and prints its table; ``simulate``
 times a single scatter-add with the chosen implementation
@@ -23,8 +26,11 @@ writes a JSON report (``--check BASELINE`` fails on cycle-count drift
 beyond 25% or wall-time regression beyond 2x); ``area`` prints the
 die-area estimate; ``serve`` runs the simulation-as-a-service daemon
 (async job server + content-addressed result cache, see
-``repro.service``); ``submit`` sends a job to a running daemon and
-prints the JSON response.
+``repro.service``; ``--log-json`` streams NDJSON access/job logs and
+``--baseline`` arms the SLO floors); ``submit`` sends a job to a running
+daemon and prints the JSON response; ``slo`` queries ``/v1/slo``
+(``--check`` exits nonzero on a violation); ``top`` is a live terminal
+dashboard over ``/v1/metrics``.
 """
 
 import argparse
@@ -299,11 +305,15 @@ BENCH_SCHEMA = "repro.bench/2"
 def check_bench_regression(results, baseline,
                            cycle_tolerance=BENCH_CYCLE_TOLERANCE,
                            wall_factor=BENCH_WALL_FACTOR,
-                           wall_slack=BENCH_WALL_SLACK):
+                           wall_slack=BENCH_WALL_SLACK,
+                           baseline_label="baseline"):
     """Compare a bench report against a committed baseline.
 
     Returns a list of human-readable failure strings (empty = pass).
-    A workload fails when its cycle count moved more than
+    Every failure names the offending baseline entry as
+    ``workload[engine]`` plus `baseline_label` (the baseline file the
+    numbers came from), so a CI log line is actionable on its own.  A
+    workload fails when its cycle count moved more than
     `cycle_tolerance` (fractional, either direction) or its median wall
     time exceeds `wall_factor` times the baseline plus `wall_slack`
     seconds.  A baseline entry carrying ``min_fastforward_speedup``
@@ -318,21 +328,23 @@ def check_bench_regression(results, baseline,
     base_schema = baseline.get("schema")
     if base_schema != BENCH_SCHEMA:
         failures.append(
-            "baseline schema %r != %r -- stale baseline file, regenerate "
-            "with `repro bench --out`" % (base_schema, BENCH_SCHEMA))
+            "%s: baseline schema %r != %r -- stale baseline file, "
+            "regenerate with `repro bench --out %s`"
+            % (baseline_label, base_schema, BENCH_SCHEMA, baseline_label))
         return failures
     base_engines = baseline.get("engines")
     run_engines = results.get("engines", [])
     if base_engines is None:
-        failures.append("baseline records no engine list -- stale "
-                        "baseline file, regenerate")
+        failures.append("%s: baseline records no engine list -- stale "
+                        "baseline file, regenerate" % baseline_label)
         return failures
     missing = [engine for engine in run_engines
                if engine not in base_engines]
     if missing:
         failures.append(
-            "baseline lacks engines %s (has %s) -- stale baseline file, "
-            "regenerate" % (", ".join(missing), ", ".join(base_engines)))
+            "%s: baseline lacks engines %s (has %s) -- stale baseline "
+            "file, regenerate"
+            % (baseline_label, ", ".join(missing), ", ".join(base_engines)))
         return failures
     base_workloads = baseline.get("workloads", {})
     for name, entry in results.get("workloads", {}).items():
@@ -355,23 +367,26 @@ def check_bench_regression(results, baseline,
                 if drift > cycle_tolerance:
                     failures.append(
                         "%s[%s]: cycle count %d vs baseline %d "
-                        "(%.0f%% drift > %.0f%% tolerance)"
+                        "(%.0f%% drift > %.0f%% tolerance, from %s)"
                         % (name, scheduler, cycles, base_cycles,
-                           100.0 * drift, 100.0 * cycle_tolerance))
+                           100.0 * drift, 100.0 * cycle_tolerance,
+                           baseline_label))
             base_wall = reference.get("wall_seconds")
             wall = current.get("wall_seconds")
             if (base_wall and wall is not None
                     and wall > wall_factor * base_wall + wall_slack):
                 failures.append(
                     "%s[%s]: wall time %.3fs vs baseline %.3fs "
-                    "(> %.1fx slower)"
-                    % (name, scheduler, wall, base_wall, wall_factor))
+                    "(> %.1fx slower, from %s)"
+                    % (name, scheduler, wall, base_wall, wall_factor,
+                       baseline_label))
         floor = base.get("min_fastforward_speedup")
         speedup = entry.get("fastforward_speedup")
         if floor is not None and speedup is not None and speedup < floor:
             failures.append(
-                "%s: fastforward speedup %.2fx below the %.1fx floor"
-                % (name, speedup, floor))
+                "%s[fastforward vs event]: fastforward speedup %.2fx "
+                "below the %.1fx floor (from %s)"
+                % (name, speedup, floor, baseline_label))
     for name in base_workloads:
         if name not in results.get("workloads", {}):
             print("bench --check: baseline workload %s missing from run"
@@ -472,7 +487,8 @@ def _cmd_bench(args):
     if args.check:
         baseline_path = pathlib.Path(args.check)
         baseline = json.loads(baseline_path.read_text())
-        failures = check_bench_regression(results, baseline)
+        failures = check_bench_regression(
+            results, baseline, baseline_label=str(baseline_path))
         if failures:
             for failure in failures:
                 print("bench --check FAIL: " + failure)
@@ -487,11 +503,46 @@ def _cmd_serve(args):
     from repro.service.server import serve
 
     try:
-        asyncio.run(serve(args.host, args.port, args.cache_dir,
-                          workers=args.workers, retries=args.retries))
+        asyncio.run(serve(
+            args.host, args.port, args.cache_dir,
+            workers=args.workers, retries=args.retries,
+            log_path=args.log_json, baseline_path=args.baseline,
+            throughput_fraction=args.slo_throughput_fraction,
+            p99_ceiling_seconds=args.slo_p99_seconds))
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_slo(args):
+    import json
+
+    from repro.service.client import Client, ServiceError
+    from repro.service.slo import render_slo
+
+    client = Client(args.server)
+    try:
+        payload = client.slo()
+    except (OSError, ServiceError) as exc:
+        print("slo: cannot reach %s: %s" % (args.server, exc),
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_slo(payload))
+    if args.check and not payload.get("ok", False):
+        return 1
+    return 0
+
+
+def _cmd_top(args):
+    from repro.service.top import run_top
+
+    frames = run_top(args.server, interval=args.interval,
+                     iterations=args.iterations,
+                     clear=False if args.no_clear else None)
+    return 0 if frames else 1
 
 
 def _submit_job_spec(args):
@@ -684,6 +735,44 @@ def build_parser():
     serve.add_argument(
         "--retries", type=int, default=1,
         help="per-point resubmissions tolerated when a worker dies")
+    serve.add_argument(
+        "--log-json", default=None, metavar="FILE",
+        help="append structured NDJSON access/job log lines to FILE")
+    serve.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="bench baseline JSON defining the SLO throughput floors "
+             "(e.g. benchmarks/baseline.json; omit for observation only)")
+    serve.add_argument(
+        "--slo-throughput-fraction", type=float, default=None,
+        metavar="F",
+        help="fraction of each baseline cycles_per_second the live "
+             "service must sustain (default 0.05)")
+    serve.add_argument(
+        "--slo-p99-seconds", type=float, default=None, metavar="S",
+        help="p99 end-to-end job latency ceiling in seconds "
+             "(default: no ceiling)")
+
+    slo = commands.add_parser(
+        "slo", help="query a daemon's SLO status (optionally gate on it)")
+    slo.add_argument("--server", default="http://127.0.0.1:8642")
+    slo.add_argument("--check", action="store_true",
+                     help="exit 1 when any SLO floor or ceiling is "
+                          "violated (exit 2 when the daemon is "
+                          "unreachable)")
+    slo.add_argument("--json", action="store_true",
+                     help="print the raw /v1/slo payload instead of the "
+                          "table")
+
+    top = commands.add_parser(
+        "top", help="live terminal dashboard over a daemon's /v1/metrics")
+    top.add_argument("--server", default="http://127.0.0.1:8642")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between scrapes")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="draw N frames then exit (default: until Ctrl-C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="never clear the screen between frames "
+                          "(sequential output, for logs and pipes)")
 
     submit = commands.add_parser(
         "submit", help="submit a job to a running daemon")
@@ -728,6 +817,8 @@ def main(argv=None):
         "bench": _cmd_bench,
         "area": _cmd_area,
         "serve": _cmd_serve,
+        "slo": _cmd_slo,
+        "top": _cmd_top,
         "submit": _cmd_submit,
         "compare": _cmd_compare,
     }[args.command]

@@ -281,8 +281,38 @@ def write_run_metrics(path, run_dict):
     return payload
 
 
+#: Cross-counter conservation laws checked on every metrics payload:
+#: (name, lhs counter, rhs counters).  The lhs must equal the sum of the
+#: rhs whenever the lhs counter is present in a scope.  Currently the
+#: network flow-conservation invariant: every request injected into the
+#: fabric is either delivered to a home node or absorbed by an in-flight
+#: combine at a switch.
+METRICS_INVARIANTS = (
+    ("network flow conservation", "sim.network.injected",
+     ("sim.network.delivered", "sim.network.combined_in_flight")),
+)
+
+
+def _check_counter_invariants(counters, index):
+    for label, lhs, rhs in METRICS_INVARIANTS:
+        if lhs not in counters:
+            continue
+        total = sum(counters.get(name, 0) for name in rhs)
+        if counters[lhs] != total:
+            raise ValueError(
+                "scope %d violates %s: %s=%r != %s = %r"
+                % (index, label, lhs, counters[lhs],
+                   " + ".join(rhs), total))
+
+
 def validate_metrics(payload):
-    """Raise ``ValueError`` unless `payload` is a well-formed metrics dump."""
+    """Raise ``ValueError`` unless `payload` is a well-formed metrics dump.
+
+    Beyond shape checks, cross-counter invariants
+    (:data:`METRICS_INVARIANTS`) are enforced per scope, so a payload
+    whose counters drifted out of conservation fails the CI artifact
+    gate even when every individual value is well-typed.
+    """
     if not isinstance(payload, dict):
         raise ValueError("metrics payload must be an object")
     if payload.get("schema") != METRICS_SCHEMA:
@@ -299,6 +329,7 @@ def validate_metrics(payload):
             if not isinstance(value, (int, float)):
                 raise ValueError("scope %d counter %r is not numeric"
                                  % (index, name))
+        _check_counter_invariants(counters, index)
         for name, histogram in scope.get("histograms", {}).items():
             edges = histogram.get("edges", [])
             counts = histogram.get("counts", [])

@@ -1,0 +1,562 @@
+"""Process-level telemetry: labeled metric families + Prometheus text.
+
+The simulator's :class:`~repro.obs.metrics.MetricRegistry` measures one
+*run* (its counters write through to a ``Stats`` bag and export to
+``metrics.json``).  The service daemon needs the complementary view: one
+*process*, alive for days, scraped by an external monitor.  This module
+provides that layer while reusing the same typed primitives:
+
+- :class:`TelemetryRegistry` hands out **labeled families**
+  (:class:`CounterFamily`, :class:`GaugeFamily`,
+  :class:`HistogramFamily`).  Each family owns children keyed by a label
+  tuple; the children *are* the PR 2 handles
+  (:class:`~repro.obs.metrics.Counter` over a shared value bag,
+  :class:`~repro.obs.metrics.Gauge`,
+  :class:`~repro.obs.metrics.Histogram`), so bucket semantics,
+  percentiles and merging behave identically on both sides of the house.
+- :class:`TimeHistogram` extends :class:`~repro.obs.metrics.Histogram`
+  with monotonic-clock helpers (``start()`` / ``observe_since()``) for
+  wall-latency distributions — the request- and job-latency histograms
+  the service exposes.
+- :func:`render_prometheus` serializes a registry in the Prometheus text
+  exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers,
+  escaped label values, cumulative ``_bucket{le=...}`` series with a
+  ``+Inf`` bucket, ``_sum`` and ``_count``.
+- :func:`parse_prometheus_text` / :func:`validate_prometheus_text` read
+  the format back.  The validator is strict about everything a scrape
+  consumer relies on (names, label syntax, typed headers, duplicate
+  series, bucket cumulativity, count/sum consistency) and is wired into
+  ``python -m repro.obs.validate`` so CI gates ``/v1/metrics`` output the
+  same way it gates ``metrics.json``.
+
+Telemetry is observation-only by construction: nothing in this module
+touches simulator state, and the service increments it strictly outside
+the simulation processes (the fork-pool workers never see a registry).
+"""
+
+import collections
+import re
+import time
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+#: Prometheus metric / label name grammar (exposition format 0.0.4).
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One sample line: name, optional {labels}, value.  Label values are
+#: double-quoted with backslash escapes.
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="
+    r"\"(?:[^\"\\\n]|\\.)*\",?)*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+
+_ONE_LABEL = re.compile(
+    r"([a-zA-Z_][a-zA-Z0-9_]*)=\"((?:[^\"\\\n]|\\.)*)\",?")
+
+#: Default bucket edges (seconds) for wall-latency histograms: 1 ms to
+#: 2 minutes, roughly log-spaced.  Service requests span five orders of
+#: magnitude (a /healthz probe vs a cold multi-second simulation).
+LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0, 30.0, 120.0)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _escape_label_value(value):
+    return (str(value).replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _unescape_label_value(value):
+    return (value.replace("\\n", "\n").replace("\\\"", "\"")
+            .replace("\\\\", "\\"))
+
+
+def _format_value(value):
+    """Prometheus sample value: integers bare, floats via repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float)
+                                  and value.is_integer()
+                                  and abs(value) < 1e15):
+        return "%d" % value
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+class TimeHistogram(Histogram):
+    """A :class:`Histogram` over monotonic wall time, in seconds.
+
+    ``start()`` captures ``time.monotonic()``; ``observe_since(t0)``
+    records the elapsed seconds and returns them, so call sites can both
+    meter and log the same measurement.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def start():
+        return time.monotonic()
+
+    def observe_since(self, started):
+        elapsed = time.monotonic() - started
+        self.observe(elapsed)
+        return elapsed
+
+
+class MetricFamily:
+    """One named, typed, labeled family; children keyed by label values."""
+
+    kind = None
+
+    def __init__(self, name, help_text, label_names):
+        if not _METRIC_NAME.match(name):
+            raise ValueError("invalid metric name %r" % (name,))
+        label_names = tuple(label_names)
+        for label in label_names:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise ValueError("invalid label name %r on metric %r"
+                                 % (label, name))
+        if len(set(label_names)) != len(label_names):
+            raise ValueError("duplicate label names on metric %r" % (name,))
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self._children = {}
+
+    def labels(self, **labels):
+        """The child handle for one label-value combination."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                "metric %r wants labels %r, got %r"
+                % (self.name, self.label_names, tuple(sorted(labels))))
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child(key)
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        """The single child of an unlabeled family (for direct calls)."""
+        if self.label_names:
+            raise ValueError("metric %r is labeled %r; use .labels()"
+                             % (self.name, self.label_names))
+        return self.labels()
+
+    def _make_child(self, key):
+        raise NotImplementedError
+
+    def samples(self):
+        """Yield ``(label_values, child)`` in insertion order."""
+        return self._children.items()
+
+    def __repr__(self):
+        return "%s(%r, %d series)" % (type(self).__name__, self.name,
+                                      len(self._children))
+
+
+class CounterFamily(MetricFamily):
+    """Labeled monotonic counters (children: :class:`Counter`)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text, label_names):
+        super().__init__(name, help_text, label_names)
+        # One shared value bag per family, so every child is a stock
+        # repro.obs.metrics.Counter writing through to it -- the same
+        # write-through contract the simulator counters have with Stats.
+        self._values = collections.defaultdict(int)
+
+    def _make_child(self, key):
+        return Counter("\x00".join(key), self._values)
+
+    def inc(self, amount=1):
+        self._default_child().inc(amount)
+
+    @property
+    def value(self):
+        return self._default_child().value
+
+
+class GaugeFamily(MetricFamily):
+    """Labeled point-in-time values (children: :class:`Gauge`)."""
+
+    kind = "gauge"
+
+    def _make_child(self, key):
+        return Gauge(self.name)
+
+    def set(self, value):
+        self._default_child().set(value)
+
+    def maximum(self, value):
+        self._default_child().maximum(value)
+
+    @property
+    def value(self):
+        return self._default_child().value
+
+
+class HistogramFamily(MetricFamily):
+    """Labeled monotonic-time histograms (children: :class:`TimeHistogram`).
+
+    All children share the family's fixed bucket edges, as Prometheus
+    requires for a scrape to be aggregable across label values.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, label_names,
+                 buckets=LATENCY_BUCKETS):
+        super().__init__(name, help_text, label_names)
+        self.buckets = tuple(float(edge) for edge in buckets)
+
+    def _make_child(self, key):
+        return TimeHistogram(self.name, self.buckets)
+
+    def observe(self, value, n=1):
+        self._default_child().observe(value, n=n)
+
+    def start(self):
+        return time.monotonic()
+
+    def observe_since(self, started):
+        return self._default_child().observe_since(started)
+
+
+class TelemetryRegistry:
+    """Directory of labeled metric families for one process.
+
+    ``collect`` callbacks registered via :meth:`register_collector` run
+    immediately before every render/snapshot, so scrape-time values
+    (live worker counts, queue depth, uptime, SLO status) are refreshed
+    without the owning component pushing on every change.
+    """
+
+    def __init__(self):
+        self._families = {}
+        self._collectors = []
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name, help_text, labels=()):
+        return self._family(CounterFamily, name, help_text, labels)
+
+    def gauge(self, name, help_text, labels=()):
+        return self._family(GaugeFamily, name, help_text, labels)
+
+    def histogram(self, name, help_text, labels=(),
+                  buckets=LATENCY_BUCKETS):
+        family = self._families.get(name)
+        if family is None:
+            family = HistogramFamily(name, help_text, labels, buckets)
+            if not family.label_names:
+                # Materialize the single series so a fresh process
+                # exposes zero-filled buckets from the first scrape.
+                family._default_child()
+            self._families[name] = family
+        elif (not isinstance(family, HistogramFamily)
+              or family.buckets != tuple(float(b) for b in buckets)
+              or family.label_names != tuple(labels)):
+            raise ValueError("metric %r already registered differently"
+                             % (name,))
+        return family
+
+    def _family(self, cls, name, help_text, labels):
+        family = self._families.get(name)
+        if family is None:
+            family = cls(name, help_text, labels)
+            if not family.label_names:
+                family._default_child()
+            self._families[name] = family
+        elif (type(family) is not cls
+              or family.label_names != tuple(labels)):
+            raise ValueError("metric %r already registered differently"
+                             % (name,))
+        return family
+
+    def register_collector(self, callback):
+        self._collectors.append(callback)
+        return callback
+
+    def collect(self):
+        for callback in self._collectors:
+            callback()
+
+    def families(self):
+        return list(self._families.values())
+
+    # ------------------------------------------------------------------ #
+    def render(self):
+        """The registry in Prometheus text exposition format."""
+        self.collect()
+        return render_prometheus(self.families())
+
+    def snapshot(self):
+        """Plain-dict export (for tests and the NDJSON log epilogue)."""
+        self.collect()
+        out = {}
+        for family in self.families():
+            series = {}
+            for values, child in family.samples():
+                labels = dict(zip(family.label_names, values))
+                key = ",".join("%s=%s" % pair for pair in sorted(
+                    labels.items()))
+                if family.kind == "histogram":
+                    series[key] = child.as_dict()
+                else:
+                    series[key] = child.value
+            out[family.name] = {"type": family.kind, "series": series}
+        return out
+
+    def __repr__(self):
+        return "TelemetryRegistry(%d families)" % len(self._families)
+
+
+# --------------------------------------------------------------------- #
+# exposition
+# --------------------------------------------------------------------- #
+def _label_block(names, values, extra=()):
+    pairs = ["%s=\"%s\"" % (name, _escape_label_value(value))
+             for name, value in zip(names, values)]
+    pairs.extend("%s=\"%s\"" % (name, _escape_label_value(value))
+                 for name, value in extra)
+    return "{%s}" % ",".join(pairs) if pairs else ""
+
+
+def render_prometheus(families):
+    """Serialize metric families as Prometheus text (version 0.0.4)."""
+    lines = []
+    for family in families:
+        help_text = " ".join(str(family.help).split())
+        lines.append("# HELP %s %s" % (family.name, help_text))
+        lines.append("# TYPE %s %s" % (family.name, family.kind))
+        for values, child in family.samples():
+            block = _label_block(family.label_names, values)
+            if family.kind == "histogram":
+                cumulative = 0
+                for edge, count in zip(child.edges, child.counts):
+                    cumulative += count
+                    lines.append("%s_bucket%s %s" % (
+                        family.name,
+                        _label_block(family.label_names, values,
+                                     extra=(("le", _format_value(edge)),)),
+                        _format_value(cumulative)))
+                lines.append("%s_bucket%s %s" % (
+                    family.name,
+                    _label_block(family.label_names, values,
+                                 extra=(("le", "+Inf"),)),
+                    _format_value(child.total)))
+                lines.append("%s_sum%s %s" % (family.name, block,
+                                              _format_value(child.sum)))
+                lines.append("%s_count%s %s" % (family.name, block,
+                                                _format_value(child.total)))
+            else:
+                lines.append("%s%s %s" % (family.name, block,
+                                          _format_value(child.value)))
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# parsing + validation
+# --------------------------------------------------------------------- #
+class ParsedFamily:
+    """One family as read back from exposition text."""
+
+    def __init__(self, name, kind=None, help_text=None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples = []  # (sample_name, labels_dict, value)
+
+    def value(self, labels=None, suffix=""):
+        """The sample value matching `labels` exactly (None if absent)."""
+        wanted = dict(labels or {})
+        for sample_name, sample_labels, value in self.samples:
+            if sample_name == self.name + suffix and sample_labels == wanted:
+                return value
+        return None
+
+
+def _parse_value(text, line_number):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            raise ValueError("line %d: unparseable sample value %r"
+                             % (line_number, text))
+
+
+def _base_name(sample_name, families):
+    """Map a sample name to its family (histograms add suffixes)."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base].kind == "histogram":
+                return base
+    return None
+
+
+def parse_prometheus_text(text):
+    """Parse exposition text into ``{name: ParsedFamily}``.
+
+    Raises ``ValueError`` on syntax errors; semantic checks (bucket
+    cumulativity etc.) live in :func:`validate_prometheus_text`.
+    """
+    families = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment
+            name = parts[2]
+            if not _METRIC_NAME.match(name):
+                raise ValueError("line %d: invalid metric name %r in %s"
+                                 % (line_number, name, parts[1]))
+            family = families.setdefault(name, ParsedFamily(name))
+            if parts[1] == "HELP":
+                family.help = parts[3] if len(parts) > 3 else ""
+            else:
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in _KINDS:
+                    raise ValueError("line %d: unknown metric type %r"
+                                     % (line_number, kind))
+                if family.samples:
+                    raise ValueError(
+                        "line %d: # TYPE %s after its samples"
+                        % (line_number, name))
+                family.kind = kind
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError("line %d: unparseable sample line %r"
+                             % (line_number, raw))
+        sample_name = match.group("name")
+        labels = {}
+        blob = match.group("labels") or ""
+        consumed = sum(len(m.group(0)) for m in _ONE_LABEL.finditer(blob))
+        if consumed != len(blob):
+            raise ValueError("line %d: malformed label block %r"
+                             % (line_number, blob))
+        for label_match in _ONE_LABEL.finditer(blob):
+            label = label_match.group(1)
+            if label in labels:
+                raise ValueError("line %d: duplicate label %r"
+                                 % (line_number, label))
+            labels[label] = _unescape_label_value(label_match.group(2))
+        value = _parse_value(match.group("value"), line_number)
+        base = _base_name(sample_name, families)
+        if base is None:
+            raise ValueError(
+                "line %d: sample %r precedes its # TYPE header"
+                % (line_number, sample_name))
+        families[base].samples.append((sample_name, labels, value))
+    return families
+
+
+def _strip_le(labels):
+    rest = dict(labels)
+    rest.pop("le", None)
+    return tuple(sorted(rest.items()))
+
+
+def validate_prometheus_text(text):
+    """Raise ``ValueError`` unless `text` is valid, consistent exposition.
+
+    Beyond syntax (delegated to :func:`parse_prometheus_text`) this
+    checks what scrape consumers depend on: every family has a ``#
+    TYPE``; no duplicate series; counter samples are finite and >= 0;
+    histogram series have monotonically non-decreasing buckets ending in
+    ``+Inf``, with ``_count`` equal to the ``+Inf`` bucket and a finite
+    ``_sum``.  Returns the parsed families on success.
+    """
+    families = parse_prometheus_text(text)
+    for name, family in families.items():
+        if family.kind is None:
+            raise ValueError("metric %r has samples but no # TYPE" % name)
+        seen = set()
+        for sample_name, labels, value in family.samples:
+            series = (sample_name, tuple(sorted(labels.items())))
+            if series in seen:
+                raise ValueError("duplicate series %r{%s}"
+                                 % (sample_name, dict(labels)))
+            seen.add(series)
+            if family.kind == "counter":
+                if not (value == value and value >= 0
+                        and value != float("inf")):
+                    raise ValueError("counter %r has invalid value %r"
+                                     % (sample_name, value))
+        if family.kind == "histogram":
+            _validate_histogram_family(family)
+    return families
+
+
+def _validate_histogram_family(family):
+    buckets = collections.defaultdict(list)   # series -> [(le, value)]
+    sums = {}
+    counts = {}
+    for sample_name, labels, value in family.samples:
+        if sample_name == family.name + "_bucket":
+            if "le" not in labels:
+                raise ValueError("histogram %r bucket lacks an 'le' label"
+                                 % family.name)
+            le = labels["le"]
+            edge = float("inf") if le == "+Inf" else float(le)
+            buckets[_strip_le(labels)].append((edge, value))
+        elif sample_name == family.name + "_sum":
+            sums[tuple(sorted(labels.items()))] = value
+        elif sample_name == family.name + "_count":
+            counts[tuple(sorted(labels.items()))] = value
+        else:
+            raise ValueError("histogram %r has stray sample %r"
+                             % (family.name, sample_name))
+    if not family.samples:
+        # A headers-only family (# HELP/# TYPE, no children yet) is
+        # valid exposition -- a labeled histogram on a fresh daemon has
+        # no series until the first observation.
+        return
+    if not buckets:
+        raise ValueError("histogram %r has no _bucket samples"
+                         % family.name)
+    for series, pairs in buckets.items():
+        edges = [edge for edge, _ in pairs]
+        if edges != sorted(edges):
+            raise ValueError("histogram %r{%s}: bucket edges out of order"
+                             % (family.name, dict(series)))
+        values = [value for _, value in pairs]
+        if any(b < a for a, b in zip(values, values[1:])):
+            raise ValueError("histogram %r{%s}: bucket counts are not "
+                             "cumulative" % (family.name, dict(series)))
+        if edges[-1] != float("inf"):
+            raise ValueError("histogram %r{%s}: no +Inf bucket"
+                             % (family.name, dict(series)))
+        if series not in counts or series not in sums:
+            raise ValueError("histogram %r{%s}: missing _sum or _count"
+                             % (family.name, dict(series)))
+        if counts[series] != values[-1]:
+            raise ValueError(
+                "histogram %r{%s}: _count %r != +Inf bucket %r"
+                % (family.name, dict(series), counts[series], values[-1]))
+        total = sums[series]
+        if not (total == total and total not in (float("inf"),
+                                                 float("-inf"))):
+            raise ValueError("histogram %r{%s}: non-finite _sum"
+                             % (family.name, dict(series)))

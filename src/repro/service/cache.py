@@ -28,12 +28,17 @@ class ResultCache:
     the server's ``/v1/stats`` endpoint.
     """
 
-    def __init__(self, root):
+    def __init__(self, root, telemetry=None):
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: Optional :class:`~repro.service.telemetry.ServiceTelemetry`;
+        #: every lookup outcome mirrors into its labeled
+        #: ``repro_cache_lookups_total`` counter (one outcome per lookup:
+        #: a quarantined entry counts as ``corrupt``, not also ``miss``).
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------ #
     def path(self, key):
@@ -54,6 +59,7 @@ class ResultCache:
                 entry = json.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            self._observe("miss")
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self._quarantine(path)
@@ -65,6 +71,7 @@ class ResultCache:
             self._quarantine(path)
             return None
         self.hits += 1
+        self._observe("hit")
         return entry["payload"]
 
     def put(self, key, job, payload):
@@ -93,10 +100,15 @@ class ResultCache:
         """Drop a malformed entry so the next writer replaces it."""
         self.corrupt += 1
         self.misses += 1
+        self._observe("corrupt")
         try:
             os.unlink(path)
         except OSError:
             pass
+
+    def _observe(self, outcome):
+        if self.telemetry is not None:
+            self.telemetry.cache_lookup(outcome)
 
     # ------------------------------------------------------------------ #
     def __contains__(self, key):

@@ -80,6 +80,24 @@ class Client:
     def stats(self):
         return self._request("GET", "/v1/stats")
 
+    def metrics(self):
+        """The raw Prometheus text exposition from ``GET /v1/metrics``."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ServiceError(response.status, {"error": text})
+            return text
+        finally:
+            connection.close()
+
+    def slo(self):
+        """The SLO evaluation report from ``GET /v1/slo``."""
+        return self._request("GET", "/v1/slo")
+
     def submit(self, job, wait=True):
         """Submit a job spec; with `wait` the response carries the result."""
         return self._request("POST", "/v1/jobs",

@@ -1,0 +1,79 @@
+"""Structured NDJSON logs for the service daemon (``--log-json PATH``).
+
+One JSON object per line, appended and flushed as events happen, so the
+log is tail-able while the daemon runs and machine-parseable afterwards
+(CI uploads it as an artifact).  Two record families:
+
+- ``access`` -- one line per HTTP request: method, raw path, normalized
+  endpoint label (the same label the ``repro_http_*`` metrics use),
+  response status and wall seconds.
+- ``job`` -- one line per job lifecycle transition (``submitted``,
+  ``started``, ``done``, ``failed``) carrying the job id, content key,
+  job type, cache/dedup flags and, on terminal records, the measured
+  queue-wait and run-time seconds -- the same numbers the
+  ``repro_job_*_seconds`` histograms observe.
+
+Every record gets a ``ts`` (Unix seconds) stamp.  Keys are sorted so
+identical events are byte-identical lines, which keeps diff-based log
+assertions in tests trivial.
+"""
+
+import json
+import os
+import threading
+import time
+
+
+class JsonLogger:
+    """Append-only NDJSON writer; one :meth:`log` call per record.
+
+    Thread-safe: the server's asyncio loop and the blocking test client
+    never interleave half-lines.  ``path`` parents are created on
+    demand; the file opens lazily on the first record so constructing a
+    logger for a never-written path leaves no empty file behind.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def log(self, event, **fields):
+        """Append one record of type `event`; returns the record."""
+        record = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._handle is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._handle = open(self.path, "a")
+            self._handle.write(line)
+            self._handle.flush()
+        return record
+
+    def close(self):
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self):
+        return "JsonLogger(%r)" % (self.path,)
+
+
+class NullLogger:
+    """Drop-in no-op used when ``--log-json`` is not given."""
+
+    path = None
+
+    def log(self, event, **fields):
+        return None
+
+    def close(self):
+        pass
+
+    def __repr__(self):
+        return "NullLogger()"

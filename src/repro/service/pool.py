@@ -125,6 +125,13 @@ class ForkExecutor:
         """Submit every item; returns the futures in submission order."""
         return [self.submit(item) for item in items]
 
+    @property
+    def live_workers(self):
+        """How many worker processes are currently alive (telemetry)."""
+        with self._lock:
+            return sum(1 for worker in self._workers.values()
+                       if not worker.dead)
+
     def shutdown(self):
         """Stop workers and the dispatcher; pending futures are cancelled."""
         with self._lock:

@@ -11,6 +11,15 @@ Endpoints (all under ``/v1``):
   ``simulations`` and ``simulated_cycles``: the engine-cycle ledger that
   only moves when a simulation actually executes, which is how the smoke
   test proves a repeated job costs zero additional simulation.
+- ``GET  /v1/metrics`` — the full telemetry registry in Prometheus text
+  exposition format (per-endpoint request counters/latency histograms,
+  job lifecycle spans, cache hit/miss/quarantine counters, worker-pool
+  gauges, ``repro_slo_*`` gauges; see
+  :mod:`repro.service.telemetry`).
+- ``GET  /v1/slo`` — the SLO evaluation report: rolling per-workload
+  simulated-cycles/sec vs the ``benchmarks/baseline.json`` floors and
+  rolling p99 job latency (see :mod:`repro.service.slo`; ``repro slo
+  --check`` exits nonzero on a violation).
 - ``POST /v1/jobs`` — submit a job spec (body: the spec, optionally
   wrapped as ``{"job": spec, "wait": bool}``).  The spec is canonicalized
   and content-hashed; a cache hit completes immediately, an in-flight job
@@ -37,6 +46,7 @@ import json
 import time
 
 from repro.service.cache import ResultCache
+from repro.service.logs import JsonLogger
 from repro.service.pool import ForkExecutor
 from repro.service.schema import (
     JobError,
@@ -45,7 +55,9 @@ from repro.service.schema import (
     job_key,
     point_jobs,
 )
-from repro.service.store import RUNNING, JobStore
+from repro.service.slo import SLOEvaluator
+from repro.service.store import JobStore
+from repro.service.telemetry import ServiceTelemetry
 
 #: Largest request body accepted, in bytes (index arrays are the bulk).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -54,13 +66,20 @@ _STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
                 404: "Not Found", 405: "Method Not Allowed",
                 413: "Payload Too Large", 500: "Internal Server Error"}
 
+#: Content type of the Prometheus exposition endpoint.
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 class Server:
-    """Service state: job store, result cache, worker pool, counters."""
+    """Service state: job store, result cache, worker pool, telemetry."""
 
-    def __init__(self, cache_dir, workers=None, retries=1):
-        self.cache = ResultCache(cache_dir)
-        self.store = JobStore()
+    def __init__(self, cache_dir, workers=None, retries=1, slo=None,
+                 log_path=None):
+        self.slo = slo if slo is not None else SLOEvaluator()
+        self.telemetry = ServiceTelemetry(
+            log=JsonLogger(log_path) if log_path else None, slo=self.slo)
+        self.cache = ResultCache(cache_dir, telemetry=self.telemetry)
+        self.store = JobStore(telemetry=self.telemetry)
         self.workers = 0 if workers == 0 else (workers or 1)
         self.retries = retries
         self.executor = None
@@ -72,6 +91,8 @@ class Server:
             "simulated_cycles": 0,
             "points_completed": 0,
         }
+        self.telemetry.watch_pool(lambda: self.executor)
+        self.telemetry.pool_workers_configured.set(self.workers)
         self._tasks = set()
         self._asyncio_server = None
 
@@ -95,6 +116,7 @@ class Server:
             task.cancel()
         if self.executor is not None:
             self.executor.shutdown()
+        self.telemetry.close()
 
     async def serve_forever(self):
         await self._asyncio_server.serve_forever()
@@ -124,6 +146,7 @@ class Server:
         active = self.store.active(key)
         if active is not None:
             self.counters["jobs_deduped"] += 1
+            self.telemetry.job_deduped(job_spec["type"])
             if wait:
                 await active.wait()
             return self._submission_response(active, wait, deduped=True)
@@ -146,7 +169,8 @@ class Server:
 
     async def _execute(self, job):
         try:
-            job.status = RUNNING
+            job.mark_running()
+            self.telemetry.job_started(job)
             await job.emit("started")
             if job.spec["type"] == "run":
                 result = await self._execute_run(job)
@@ -160,8 +184,9 @@ class Server:
         finally:
             self.store.settle(job)
 
-    async def _simulate(self, point_spec):
+    async def _simulate(self, point_spec, key):
         """Run one canonical point on the pool (or inline with workers=0)."""
+        started = time.monotonic()
         if self.executor is not None:
             payload = await asyncio.wrap_future(
                 self.executor.submit(point_spec))
@@ -171,10 +196,12 @@ class Server:
                                                  point_spec)
         self.counters["simulations"] += 1
         self.counters["simulated_cycles"] += payload["cycles"]
+        self.telemetry.simulation(key, payload["cycles"],
+                                  time.monotonic() - started)
         return payload
 
     async def _execute_run(self, job):
-        payload = await self._simulate(job.spec)
+        payload = await self._simulate(job.spec, job.key)
         self.cache.put(job.key, job.spec, payload)
         await self._emit_timelines(job, payload)
         job.progress["completed"] = 1
@@ -192,7 +219,7 @@ class Server:
             payload = self.cache.get(key)
             hit = payload is not None
             if not hit:
-                payload = await self._simulate(points[index])
+                payload = await self._simulate(points[index], key)
                 self.cache.put(key, points[index], payload)
             row = dict(overrides[index])
             row.update({
@@ -205,6 +232,7 @@ class Server:
             rows[index] = row
             job.progress["completed"] += 1
             self.counters["points_completed"] += 1
+            self.telemetry.point_completed()
             await job.emit("point", index=index, total=len(points),
                            key=key, cached=hit, cycles=payload["cycles"],
                            **overrides[index])
@@ -257,15 +285,20 @@ class Server:
     # HTTP plumbing
     # ------------------------------------------------------------------ #
     async def _handle_connection(self, reader, writer):
+        started = time.monotonic()
+        method = path = None
+        endpoint, status = "invalid", 0
         try:
             request = await self._read_request(reader)
             if request is None:
                 return
             method, path, body = request
-            await self._route(method, path, body, writer)
+            endpoint, status = await self._route(method, path, body,
+                                                 writer)
         except ConnectionError:
             pass
         except Exception as exc:
+            status = 500
             try:
                 await self._respond(writer, 500, {
                     "error": "%s: %s" % (type(exc).__name__, exc)})
@@ -277,6 +310,11 @@ class Server:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+        if status:
+            # Observation happens strictly after the response bytes are
+            # out, so instrumenting a request can never slow it down.
+            self.telemetry.request(method or "-", path or "-", endpoint,
+                                   status, time.monotonic() - started)
 
     async def _read_request(self, reader):
         try:
@@ -300,45 +338,62 @@ class Server:
         return method, path, body
 
     async def _route(self, method, path, body, writer):
+        """Dispatch one request; returns ``(endpoint_label, status)``.
+
+        The endpoint label is the *normalized* route name (``job``, not
+        ``/v1/jobs/j000017``), so request metrics stay low-cardinality.
+        """
         if body == b"__TOO_LARGE__":
-            return await self._respond(writer, 413,
-                                       {"error": "request body too large"})
+            return "invalid", await self._respond(
+                writer, 413, {"error": "request body too large"})
         parts = [part for part in path.split("?")[0].split("/") if part]
         if parts[:1] != ["v1"]:
-            return await self._respond(writer, 404, {"error": "not found"})
+            return "invalid", await self._respond(writer, 404,
+                                                  {"error": "not found"})
         tail = parts[1:]
         if method == "GET" and tail == ["healthz"]:
-            return await self._respond(writer, 200, {"ok": True})
+            return "healthz", await self._respond(writer, 200,
+                                                  {"ok": True})
         if method == "GET" and tail == ["stats"]:
-            return await self._respond(writer, 200, self.stats())
+            return "stats", await self._respond(writer, 200, self.stats())
+        if method == "GET" and tail == ["metrics"]:
+            return "metrics", await self._respond_text(
+                writer, 200, self.telemetry.render(),
+                _PROMETHEUS_CONTENT_TYPE)
+        if method == "GET" and tail == ["slo"]:
+            return "slo", await self._respond(writer, 200,
+                                              self.slo.evaluate())
         if method == "POST" and tail == ["jobs"]:
-            return await self._handle_submit(body, writer)
+            return "jobs", await self._handle_submit(body, writer)
         if method == "GET" and len(tail) == 2 and tail[0] == "cache":
             payload = self.cache.get(tail[1])
             if payload is None:
-                return await self._respond(writer, 404,
-                                           {"error": "no cache entry"})
-            return await self._respond(writer, 200, {"key": tail[1],
-                                                     "payload": payload})
+                return "cache_entry", await self._respond(
+                    writer, 404, {"error": "no cache entry"})
+            return "cache_entry", await self._respond(
+                writer, 200, {"key": tail[1], "payload": payload})
         if tail[:1] == ["jobs"] and len(tail) >= 2:
             job = self.store.get(tail[1])
             if job is None:
-                return await self._respond(writer, 404,
-                                           {"error": "unknown job"})
+                return "job", await self._respond(writer, 404,
+                                                  {"error": "unknown job"})
             if method != "GET":
-                return await self._respond(writer, 405,
-                                           {"error": "GET only"})
+                return "job", await self._respond(writer, 405,
+                                                  {"error": "GET only"})
             if len(tail) == 2:
-                return await self._respond(writer, 200, job.describe())
+                return "job", await self._respond(writer, 200,
+                                                  job.describe())
             if tail[2] == "result":
                 if job.status != "done":
-                    return await self._respond(
+                    return "job_result", await self._respond(
                         writer, 404, {"error": "job not done",
                                       "status": job.status})
-                return await self._respond(writer, 200, job.result)
+                return "job_result", await self._respond(writer, 200,
+                                                         job.result)
             if tail[2] == "events":
-                return await self._stream_events(job, writer)
-        return await self._respond(writer, 404, {"error": "not found"})
+                return "job_events", await self._stream_events(job, writer)
+        return "invalid", await self._respond(writer, 404,
+                                              {"error": "not found"})
 
     async def _handle_submit(self, body, writer):
         try:
@@ -367,24 +422,38 @@ class Server:
             writer.write(json.dumps(event, sort_keys=True).encode("utf-8")
                          + b"\n")
             await writer.drain()
+        return 200
 
     async def _respond(self, writer, status, payload):
         body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        return await self._respond_text(writer, status, body,
+                                        "application/json")
+
+    async def _respond_text(self, writer, status, body, content_type):
+        if isinstance(body, str):
+            body = body.encode("utf-8")
         writer.write(
             ("HTTP/1.1 %d %s\r\n"
-             "Content-Type: application/json\r\n"
+             "Content-Type: %s\r\n"
              "Content-Length: %d\r\n"
              "Connection: close\r\n\r\n"
-             % (status, _STATUS_TEXT.get(status, "OK"),
+             % (status, _STATUS_TEXT.get(status, "OK"), content_type,
                 len(body))).encode("latin-1"))
         writer.write(body)
         await writer.drain()
+        return status
 
 
 async def serve(host, port, cache_dir, workers=None, retries=1,
-                announce=print):
+                announce=print, log_path=None, baseline_path=None,
+                throughput_fraction=None, p99_ceiling_seconds=None):
     """Run the daemon until cancelled (the ``repro serve`` entry point)."""
-    server = Server(cache_dir, workers=workers, retries=retries)
+    slo_options = {"p99_ceiling_seconds": p99_ceiling_seconds}
+    if throughput_fraction is not None:
+        slo_options["throughput_fraction"] = throughput_fraction
+    slo = SLOEvaluator.from_baseline_file(baseline_path, **slo_options)
+    server = Server(cache_dir, workers=workers, retries=retries,
+                    slo=slo, log_path=log_path)
     bound_host, bound_port = await server.start(host, port)
     announce("repro service listening on http://%s:%d (cache: %s, "
              "%d worker%s)" % (bound_host, bound_port, server.cache.root,

@@ -1,0 +1,280 @@
+"""Service-level objectives derived from the bench baseline.
+
+The ROADMAP promise is that "the bench baseline becomes a service-level
+SLO": the same ``benchmarks/baseline.json`` that gates ``repro bench
+--check`` offline also defines *runtime* floors the live daemon is held
+to.  :class:`SLOEvaluator` tracks, over a rolling window:
+
+- **Per-workload simulated throughput.**  Jobs whose content key matches
+  a *reference workload* (the bench suite's cases expressed as canonical
+  service job specs -- see :func:`reference_jobs`) are attributed to that
+  workload; every simulation the service executes records ``(cycles,
+  wall seconds)`` and the rolling simulated-cycles/sec is compared
+  against ``baseline cycles_per_second x throughput_fraction``.  The
+  fraction (default ``0.05``) absorbs service overhead -- job decode,
+  fork-pool dispatch, result serialization -- while still catching an
+  order-of-magnitude engine regression in production.  Jobs that match
+  no reference workload aggregate under ``"other"`` (observed, no
+  floor).
+- **p99 job latency.**  End-to-end seconds from submission to terminal
+  state, cache hits included (a hit *is* the service's fast path), with
+  an optional configurable ceiling.
+
+The evaluation is surfaced three ways: ``repro_slo_*`` gauges on
+``GET /v1/metrics``, the ``GET /v1/slo`` JSON endpoint, and the
+``repro slo --check`` CLI which exits nonzero on any violation (the CI
+smoke job runs it against the live daemon).
+"""
+
+import collections
+import json
+
+#: Version tag of the /v1/slo payload.
+SLO_SCHEMA = "repro.slo/1"
+
+#: Default fraction of the bench baseline's cycles_per_second a live
+#: service must sustain per workload.
+DEFAULT_THROUGHPUT_FRACTION = 0.05
+
+#: Rolling-window length (samples) for throughput and latency.
+DEFAULT_WINDOW = 256
+
+#: Label under which unclassified jobs aggregate.
+OTHER_WORKLOAD = "other"
+
+
+def histogram_job(engine=None):
+    """The bench suite's smoke ``histogram`` case as a service job spec.
+
+    Bit-identical to ``repro bench --smoke``'s histogram workload: the
+    first draw from ``default_rng(0)``, 512 updates over 2048 targets on
+    the Table 1 machine.
+    """
+    import numpy as np
+
+    from repro.config import MachineConfig
+
+    rng = np.random.default_rng(0)
+    job = {
+        "type": "run",
+        "op": "scatter_add",
+        "indices": [int(i) for i in rng.integers(0, 2048, size=512)],
+        "values": 1.0,
+        "num_targets": 2048,
+        "sim": {"config": MachineConfig.table1().to_dict()},
+    }
+    if engine:
+        job["sim"]["engine"] = engine
+    return job
+
+
+def fig11_job(engine=None):
+    """The Figure 11 latency-sensitivity case as a service job spec.
+
+    The job the CI service smoke submits: 512 updates over 65536 targets
+    on the uniform-memory machine (latency 256, interval 2).
+    """
+    import numpy as np
+
+    from repro.config import MachineConfig
+
+    rng = np.random.default_rng(0)
+    job = {
+        "type": "run",
+        "op": "scatter_add",
+        "indices": [int(i) for i in rng.integers(0, 65536, size=512)],
+        "values": 1.0,
+        "num_targets": 65536,
+        "sim": {"config": MachineConfig.uniform(latency=256,
+                                                interval=2).to_dict()},
+    }
+    if engine:
+        job["sim"]["engine"] = engine
+    return job
+
+
+#: Reference workloads: baseline workload name -> job-spec builder.
+#: Only bench cases expressible as single-run service jobs appear here
+#: (spmv drives a workload object, network_ablation a sweep harness).
+REFERENCE_JOBS = {
+    "histogram": histogram_job,
+    "fig11_latency256": fig11_job,
+}
+
+
+def reference_jobs(engines=None):
+    """Canonical ``(workload, engine, key, job)`` rows for every engine."""
+    from repro.service.schema import canonical_job, job_key
+    from repro.sim.engine import SCHEDULERS
+
+    rows = []
+    for workload, builder in sorted(REFERENCE_JOBS.items()):
+        for engine in (engines or SCHEDULERS):
+            job = canonical_job(builder(engine))
+            rows.append((workload, engine, job_key(job), job))
+    return rows
+
+
+class SLOEvaluator:
+    """Rolling SLO bookkeeping against the bench baseline.
+
+    `baseline` is the parsed ``benchmarks/baseline.json`` dict (or
+    ``None`` / ``{}`` for a floor-less evaluator: everything observes,
+    nothing can violate).  All updates are O(1); :meth:`evaluate` is
+    O(window) and runs per scrape, not per request.
+    """
+
+    def __init__(self, baseline=None,
+                 throughput_fraction=DEFAULT_THROUGHPUT_FRACTION,
+                 p99_ceiling_seconds=None, window=DEFAULT_WINDOW):
+        if throughput_fraction < 0:
+            raise ValueError("throughput_fraction must be >= 0")
+        self.throughput_fraction = float(throughput_fraction)
+        self.p99_ceiling_seconds = (None if p99_ceiling_seconds is None
+                                    else float(p99_ceiling_seconds))
+        self.window = int(window)
+        self.baseline_schema = (baseline or {}).get("schema")
+        self._keys = {}    # content key -> (workload, engine)
+        self._floors = {}  # (workload, engine) -> cycles/sec floor
+        self._throughput = {}  # (workload, engine) -> deque[(cycles, s)]
+        self._job_seconds = collections.deque(maxlen=self.window)
+        self._jobs_observed = 0
+        self._index_reference_jobs(baseline or {})
+
+    @classmethod
+    def from_baseline_file(cls, path, **kwargs):
+        """Build an evaluator from a baseline JSON file (``None`` path or
+        a missing file yields a floor-less evaluator)."""
+        baseline = None
+        if path is not None:
+            try:
+                with open(path) as handle:
+                    baseline = json.load(handle)
+            except FileNotFoundError:
+                baseline = None
+        return cls(baseline=baseline, **kwargs)
+
+    def _index_reference_jobs(self, baseline):
+        workloads = baseline.get("workloads", {})
+        for workload, engine, key, _job in reference_jobs():
+            self._keys[key] = (workload, engine)
+            entry = workloads.get(workload, {}).get(engine, {})
+            base_cps = entry.get("cycles_per_second")
+            if base_cps:
+                self._floors[(workload, engine)] = (
+                    base_cps * self.throughput_fraction)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def classify(self, key):
+        """``(workload, engine)`` for a content key (``("other", "")`` if
+        it matches no reference job)."""
+        return self._keys.get(key, (OTHER_WORKLOAD, ""))
+
+    def record_simulation(self, key, cycles, seconds):
+        """One executed simulation: attribute its throughput sample."""
+        series = self.classify(key)
+        samples = self._throughput.get(series)
+        if samples is None:
+            samples = collections.deque(maxlen=self.window)
+            self._throughput[series] = samples
+        samples.append((int(cycles), float(seconds)))
+
+    def record_job_seconds(self, seconds):
+        """One terminal job: end-to-end latency, cache hits included."""
+        self._job_seconds.append(float(seconds))
+        self._jobs_observed += 1
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def p99_job_seconds(self):
+        """Exact rolling p99 (nearest-rank) of job latency, or ``None``."""
+        if not self._job_seconds:
+            return None
+        ordered = sorted(self._job_seconds)
+        rank = max(0, int(len(ordered) * 0.99 + 0.5) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def evaluate(self):
+        """The full SLO report (the ``GET /v1/slo`` payload)."""
+        workloads = []
+        violations = []
+        for series in sorted(set(self._throughput) | set(self._floors)):
+            workload, engine = series
+            samples = self._throughput.get(series, ())
+            cycles = sum(c for c, _ in samples)
+            seconds = sum(s for _, s in samples)
+            observed = (cycles / seconds) if seconds > 0 else None
+            floor = self._floors.get(series)
+            ok = not (samples and floor is not None
+                      and observed is not None and observed < floor)
+            if not ok:
+                violations.append(
+                    "workload %s[%s]: %.0f simulated cycles/sec below the "
+                    "%.0f floor (baseline x %.3f)"
+                    % (workload, engine, observed, floor,
+                       self.throughput_fraction))
+            workloads.append({
+                "workload": workload,
+                "engine": engine,
+                "observed_cycles_per_second": observed,
+                "floor_cycles_per_second": floor,
+                "samples": len(samples),
+                "ok": ok,
+            })
+        p99 = self.p99_job_seconds()
+        latency_ok = not (p99 is not None
+                          and self.p99_ceiling_seconds is not None
+                          and p99 > self.p99_ceiling_seconds)
+        if not latency_ok:
+            violations.append(
+                "job latency: p99 %.3fs above the %.3fs ceiling"
+                % (p99, self.p99_ceiling_seconds))
+        return {
+            "schema": SLO_SCHEMA,
+            "ok": not violations,
+            "throughput_fraction": self.throughput_fraction,
+            "baseline_schema": self.baseline_schema,
+            "workloads": workloads,
+            "job_latency": {
+                "p99_seconds": p99,
+                "ceiling_seconds": self.p99_ceiling_seconds,
+                "samples": len(self._job_seconds),
+                "jobs_observed": self._jobs_observed,
+                "ok": latency_ok,
+            },
+            "violations": violations,
+        }
+
+    def __repr__(self):
+        return "SLOEvaluator(%d floors, %d series observed)" % (
+            len(self._floors), len(self._throughput))
+
+
+def render_slo(payload):
+    """Human-readable table of a ``/v1/slo`` payload (``repro slo``)."""
+    lines = ["SLO status: %s" % ("OK" if payload.get("ok") else "VIOLATED")]
+    lines.append("  throughput floors: baseline cycles/sec x %.3f"
+                 % payload.get("throughput_fraction", 0.0))
+    for row in payload.get("workloads", ()):
+        observed = row.get("observed_cycles_per_second")
+        floor = row.get("floor_cycles_per_second")
+        lines.append(
+            "  %-20s %-12s %12s cyc/s  floor %10s  %-4s (%d samples)" % (
+                row.get("workload"), row.get("engine") or "-",
+                "%.0f" % observed if observed is not None else "-",
+                "%.0f" % floor if floor is not None else "-",
+                "ok" if row.get("ok") else "FAIL", row.get("samples", 0)))
+    latency = payload.get("job_latency", {})
+    p99 = latency.get("p99_seconds")
+    ceiling = latency.get("ceiling_seconds")
+    lines.append("  job p99 latency: %s  ceiling %s  %s (%d samples)" % (
+        "%.3fs" % p99 if p99 is not None else "-",
+        "%.3fs" % ceiling if ceiling is not None else "none",
+        "ok" if latency.get("ok", True) else "FAIL",
+        latency.get("samples", 0)))
+    for violation in payload.get("violations", ()):
+        lines.append("  VIOLATION: " + violation)
+    return "\n".join(lines)

@@ -11,6 +11,14 @@ timeline / done / failed).  Consumers stream it through the server's
 NDJSON ``/v1/jobs/<id>/events`` endpoint: :meth:`Job.subscribe` yields
 every event already recorded, then waits on the job's condition for new
 ones until a terminal event closes the stream.
+
+Jobs also carry monotonic-clock lifecycle timestamps (created /
+started / finished) from which the telemetry layer derives its
+queue-wait and run-time histograms: the store fires
+:meth:`~repro.service.telemetry.ServiceTelemetry.job_submitted` on
+:meth:`JobStore.create` and
+:meth:`~repro.service.telemetry.ServiceTelemetry.job_settled` exactly
+once per job on :meth:`JobStore.settle`.
 """
 
 import asyncio
@@ -39,7 +47,11 @@ class Job:
         self.error = None
         self.progress = {"completed": 0, "total": 1}
         self.events = []
+        self.created_mono = time.monotonic()
+        self.started_mono = None
+        self.finished_mono = None
         self._condition = asyncio.Condition()
+        self._settled = False
 
     async def emit(self, event_type, **fields):
         """Append an event and wake every subscriber."""
@@ -69,9 +81,33 @@ class Job:
             while self.status not in (DONE, FAILED):
                 await self._condition.wait()
 
+    def mark_running(self):
+        """Transition to RUNNING and stamp the queue-exit time."""
+        self.status = RUNNING
+        self.started_mono = time.monotonic()
+
+    def queue_wait_seconds(self):
+        """Seconds spent queued, or ``None`` if execution never started."""
+        if self.started_mono is None:
+            return None
+        return self.started_mono - self.created_mono
+
+    def run_seconds(self):
+        """Seconds spent executing, or ``None`` before/without a run."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return self.finished_mono - self.started_mono
+
+    def total_seconds(self):
+        """End-to-end seconds (submission to terminal), or ``None``."""
+        if self.finished_mono is None:
+            return None
+        return self.finished_mono - self.created_mono
+
     async def finish(self, result=None, error=None):
         """Mark the job done (or failed) and publish the terminal event."""
         self.finished = time.time()
+        self.finished_mono = time.monotonic()
         if error is not None:
             self.status = FAILED
             self.error = error
@@ -92,22 +128,36 @@ class Job:
             "cached": self.cached,
             "progress": dict(self.progress),
             "error": self.error,
+            "timing": {
+                "queue_wait_seconds": self.queue_wait_seconds(),
+                "run_seconds": self.run_seconds(),
+                "total_seconds": self.total_seconds(),
+            },
         }
 
 
 class JobStore:
-    """All jobs the daemon has accepted, with in-flight dedup by key."""
+    """All jobs the daemon has accepted, with in-flight dedup by key.
 
-    def __init__(self):
+    `telemetry` (a :class:`~repro.service.telemetry.ServiceTelemetry`,
+    optional) receives the submitted/settled lifecycle hooks; the store
+    guarantees :meth:`settle` fires the settled hook exactly once per
+    job however many times a caller settles it.
+    """
+
+    def __init__(self, telemetry=None):
         self._jobs = {}
         self._active_by_key = {}
         self._ids = itertools.count(1)
+        self.telemetry = telemetry
 
     def create(self, key, spec):
         """Register a new job for `key`; returns it."""
         job = Job("j%06d" % next(self._ids), key, spec)
         self._jobs[job.id] = job
         self._active_by_key[key] = job
+        if self.telemetry is not None:
+            self.telemetry.job_submitted(job)
         return job
 
     def active(self, key):
@@ -121,6 +171,9 @@ class JobStore:
         """Drop the in-flight dedup entry once `job` is terminal."""
         if self._active_by_key.get(job.key) is job:
             del self._active_by_key[job.key]
+        if self.telemetry is not None and not job._settled:
+            job._settled = True
+            self.telemetry.job_settled(job)
 
     def get(self, job_id):
         return self._jobs.get(job_id)

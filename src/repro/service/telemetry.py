@@ -1,0 +1,269 @@
+"""Service-side telemetry: every daemon metric family in one place.
+
+:class:`ServiceTelemetry` owns the process-level
+:class:`~repro.obs.telemetry.TelemetryRegistry`, the structured NDJSON
+logger and the :class:`~repro.service.slo.SLOEvaluator`, and exposes the
+*hooks* the service layers call:
+
+- :meth:`request` -- per-endpoint request counters + latency histogram
+  (``Server._handle_connection``), plus one ``access`` log line;
+- :meth:`job_submitted` / :meth:`job_started` / :meth:`job_settled` --
+  job lifecycle counters, queue-wait and run-time histograms, in-flight
+  gauge, end-to-end latency into the SLO window, ``job`` log lines
+  (``JobStore`` / ``Server``);
+- :meth:`cache_lookup` -- hit/miss/corrupt counters (``ResultCache``);
+- :meth:`simulation` -- simulation + simulated-cycle counters and the
+  SLO throughput sample (``Server._simulate``).
+
+Scrape-time state (uptime, pool health, SLO gauges) refreshes through a
+registry collector, so components never push values nobody is reading.
+
+Everything here is observation-only: the hooks run in the daemon
+process, never inside a simulation worker, and no simulator object is
+ever touched -- results and ``metrics.json`` bytes are bit-identical
+with telemetry on (pinned by ``tests/service/test_telemetry.py``).
+
+Metric name inventory (see also docs/ARCHITECTURE.md "Service
+telemetry"):
+
+===================================== ========= =========================
+name                                  type      labels
+===================================== ========= =========================
+repro_http_requests_total             counter   endpoint, method, status
+repro_http_request_seconds            histogram endpoint
+repro_jobs_total                      counter   type, event
+repro_job_queue_wait_seconds          histogram --
+repro_job_run_seconds                 histogram --
+repro_jobs_inflight                   gauge     --
+repro_cache_lookups_total             counter   outcome
+repro_simulations_total               counter   --
+repro_simulated_cycles_total          counter   --
+repro_points_completed_total          counter   --
+repro_pool_workers_configured         gauge     --
+repro_pool_workers_live               gauge     --
+repro_pool_retries_performed          gauge     --
+repro_pool_workers_respawned          gauge     --
+repro_uptime_seconds                  gauge     --
+repro_slo_cycles_per_second           gauge     workload, engine
+repro_slo_cycles_per_second_floor     gauge     workload, engine
+repro_slo_ok                          gauge     workload, engine
+repro_slo_job_p99_seconds             gauge     --
+repro_slo_job_p99_ceiling_seconds     gauge     --
+repro_slo_healthy                     gauge     --
+===================================== ========= =========================
+"""
+
+import time
+
+from repro.obs.telemetry import TelemetryRegistry
+from repro.service.logs import NullLogger
+
+#: Histogram edges for end-to-end job durations (queue wait / run time):
+#: sub-millisecond cache hits up to multi-minute sweeps.
+JOB_BUCKETS = (0.0005, 0.002, 0.01, 0.05, 0.2, 1.0, 5.0, 15.0, 60.0,
+               300.0)
+
+#: Histogram edges for HTTP request latency.
+REQUEST_BUCKETS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+                   5.0, 15.0, 60.0)
+
+
+class ServiceTelemetry:
+    """Metric families, log stream and SLO hooks for one daemon."""
+
+    def __init__(self, registry=None, log=None, slo=None):
+        self.registry = registry or TelemetryRegistry()
+        self.log = log or NullLogger()
+        self.slo = slo
+        registry = self.registry
+
+        self.http_requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by normalized endpoint and status.",
+            labels=("endpoint", "method", "status"))
+        self.http_seconds = registry.histogram(
+            "repro_http_request_seconds",
+            "Wall seconds spent serving each endpoint.",
+            labels=("endpoint",), buckets=REQUEST_BUCKETS)
+        self.jobs_total = registry.counter(
+            "repro_jobs_total",
+            "Job lifecycle events (submitted/deduped/cached/done/failed) "
+            "by job type.",
+            labels=("type", "event"))
+        self.queue_wait = registry.histogram(
+            "repro_job_queue_wait_seconds",
+            "Seconds jobs spent queued before execution started.",
+            buckets=JOB_BUCKETS)
+        self.run_seconds = registry.histogram(
+            "repro_job_run_seconds",
+            "Seconds jobs spent executing (started to terminal).",
+            buckets=JOB_BUCKETS)
+        self.jobs_inflight = registry.gauge(
+            "repro_jobs_inflight", "Jobs currently queued or running.")
+        self.cache_lookups = registry.counter(
+            "repro_cache_lookups_total",
+            "Result-cache lookups by outcome (hit/miss/corrupt).",
+            labels=("outcome",))
+        self.simulations = registry.counter(
+            "repro_simulations_total",
+            "Simulations actually executed (cache hits excluded).")
+        self.simulated_cycles = registry.counter(
+            "repro_simulated_cycles_total",
+            "Engine cycles simulated across all executed jobs.")
+        self.points_completed = registry.counter(
+            "repro_points_completed_total",
+            "Sweep design points completed (cached or simulated).")
+        self.pool_workers_configured = registry.gauge(
+            "repro_pool_workers_configured",
+            "Worker processes the pool was configured with.")
+        self.pool_workers_live = registry.gauge(
+            "repro_pool_workers_live",
+            "Worker processes currently alive.")
+        self.pool_retries = registry.gauge(
+            "repro_pool_retries_performed",
+            "Task resubmissions caused by worker deaths.")
+        self.pool_respawned = registry.gauge(
+            "repro_pool_workers_respawned",
+            "Dead worker slots respawned since start.")
+        self.uptime = registry.gauge(
+            "repro_uptime_seconds", "Seconds since the daemon started.")
+
+        self.slo_cps = registry.gauge(
+            "repro_slo_cycles_per_second",
+            "Rolling simulated cycles/sec per reference workload.",
+            labels=("workload", "engine"))
+        self.slo_floor = registry.gauge(
+            "repro_slo_cycles_per_second_floor",
+            "Throughput floor derived from benchmarks/baseline.json.",
+            labels=("workload", "engine"))
+        self.slo_ok = registry.gauge(
+            "repro_slo_ok",
+            "1 when the workload meets its throughput floor, else 0.",
+            labels=("workload", "engine"))
+        self.slo_p99 = registry.gauge(
+            "repro_slo_job_p99_seconds",
+            "Rolling p99 end-to-end job latency.")
+        self.slo_p99_ceiling = registry.gauge(
+            "repro_slo_job_p99_ceiling_seconds",
+            "Configured p99 latency ceiling (0 when unset).")
+        self.slo_healthy = registry.gauge(
+            "repro_slo_healthy", "1 when no SLO is violated, else 0.")
+
+        self._inflight = 0
+        self._started = time.monotonic()
+        registry.register_collector(self._collect)
+        self._pool_source = None
+
+    # ------------------------------------------------------------------ #
+    # hooks
+    # ------------------------------------------------------------------ #
+    def request(self, method, path, endpoint, status, seconds):
+        """One served HTTP request (after the response is written)."""
+        self.http_requests.labels(endpoint=endpoint, method=method,
+                                  status=str(status)).inc()
+        self.http_seconds.labels(endpoint=endpoint).observe(seconds)
+        self.log.log("access", method=method, path=path,
+                     endpoint=endpoint, status=int(status),
+                     seconds=round(seconds, 6))
+
+    def job_submitted(self, job):
+        self._inflight += 1
+        self.jobs_total.labels(type=job.spec["type"],
+                               event="submitted").inc()
+        self.log.log("job", phase="submitted", job_id=job.id, key=job.key,
+                     type=job.spec["type"])
+
+    def job_deduped(self, spec_type):
+        self.jobs_total.labels(type=spec_type, event="deduped").inc()
+
+    def job_started(self, job):
+        wait = job.queue_wait_seconds()
+        if wait is not None:
+            self.queue_wait.observe(wait)
+        self.log.log("job", phase="started", job_id=job.id, key=job.key,
+                     type=job.spec["type"],
+                     queue_wait_seconds=round(wait or 0.0, 6))
+
+    def job_settled(self, job):
+        """Terminal transition: histograms, counters, SLO, log line."""
+        self._inflight = max(0, self._inflight - 1)
+        spec_type = job.spec["type"]
+        self.jobs_total.labels(type=spec_type, event=job.status).inc()
+        if job.cached:
+            self.jobs_total.labels(type=spec_type, event="cached").inc()
+        run = job.run_seconds()
+        if run is not None:
+            self.run_seconds.observe(run)
+        total = job.total_seconds()
+        if total is not None and self.slo is not None:
+            self.slo.record_job_seconds(total)
+        record = {"phase": job.status, "job_id": job.id, "key": job.key,
+                  "type": spec_type, "cached": bool(job.cached),
+                  "seconds": round(total or 0.0, 6)}
+        if run is not None:
+            record["run_seconds"] = round(run, 6)
+        if job.error is not None:
+            record["error"] = job.error
+        self.log.log("job", **record)
+
+    def cache_lookup(self, outcome):
+        self.cache_lookups.labels(outcome=outcome).inc()
+
+    def simulation(self, key, cycles, seconds):
+        """One executed simulation (a sweep point or a run)."""
+        self.simulations.inc()
+        self.simulated_cycles.inc(int(cycles))
+        if self.slo is not None:
+            self.slo.record_simulation(key, cycles, seconds)
+
+    def point_completed(self):
+        self.points_completed.inc()
+
+    def watch_pool(self, executor_getter):
+        """Register the worker pool the collector reads at scrape time.
+
+        `executor_getter` returns the live :class:`ForkExecutor` (or
+        ``None`` when ``workers=0`` runs jobs in-process).
+        """
+        self._pool_source = executor_getter
+
+    # ------------------------------------------------------------------ #
+    # scrape-time refresh
+    # ------------------------------------------------------------------ #
+    def _collect(self):
+        self.uptime.set(round(time.monotonic() - self._started, 3))
+        self.jobs_inflight.set(self._inflight)
+        executor = self._pool_source() if self._pool_source else None
+        if executor is not None:
+            self.pool_workers_live.set(executor.live_workers)
+            self.pool_retries.set(executor.retries_performed)
+            self.pool_respawned.set(executor.workers_respawned)
+        if self.slo is not None:
+            self._collect_slo(self.slo.evaluate())
+
+    def _collect_slo(self, payload):
+        for row in payload["workloads"]:
+            labels = {"workload": row["workload"],
+                      "engine": row["engine"] or "-"}
+            observed = row["observed_cycles_per_second"]
+            floor = row["floor_cycles_per_second"]
+            self.slo_cps.labels(**labels).set(
+                round(observed, 3) if observed is not None else 0)
+            self.slo_floor.labels(**labels).set(
+                round(floor, 3) if floor is not None else 0)
+            self.slo_ok.labels(**labels).set(1 if row["ok"] else 0)
+        latency = payload["job_latency"]
+        p99 = latency["p99_seconds"]
+        self.slo_p99.set(round(p99, 6) if p99 is not None else 0)
+        self.slo_p99_ceiling.set(latency["ceiling_seconds"] or 0)
+        self.slo_healthy.set(1 if payload["ok"] else 0)
+
+    def render(self):
+        """The Prometheus exposition body for ``GET /v1/metrics``."""
+        return self.registry.render()
+
+    def close(self):
+        self.log.close()
+
+    def __repr__(self):
+        return "ServiceTelemetry(%r)" % (self.registry,)

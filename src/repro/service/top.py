@@ -1,0 +1,202 @@
+"""``repro top``: a live terminal dashboard over ``GET /v1/metrics``.
+
+A deliberately curses-free ``top``-style view: each refresh scrapes the
+daemon's Prometheus endpoint, diffs the counter families against the
+previous scrape to derive rates, and redraws the screen with ANSI
+clear-home (falling back to plain sequential frames when stdout is not
+a TTY, which keeps the output capturable in tests and CI logs).
+
+Everything shown is computed from the exposition text alone — the
+dashboard is just another scrape consumer, exercising the same parser
+(:func:`repro.obs.telemetry.parse_prometheus_text`) the validator uses:
+
+- request and simulated-cycle throughput (per-interval rates),
+- cache hit ratio (cumulative and per-interval),
+- job states: in-flight, done/failed totals, queue-wait p99-ish view
+  via the histogram buckets,
+- worker-pool health (configured vs live, respawns, retries),
+- SLO status per workload plus the overall healthy flag.
+"""
+
+import time
+
+from repro.obs.telemetry import parse_prometheus_text
+from repro.service.client import Client
+
+#: ANSI clear screen + cursor home.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _family_total(family, suffix=""):
+    """Sum of every series in a parsed family (0.0 when absent)."""
+    if family is None:
+        return 0.0
+    total = 0.0
+    for sample_name, _labels, value in family.samples:
+        if sample_name == family.name + suffix:
+            total += value
+    return total
+
+
+def _labeled(family, label):
+    """``{label value: sample value}`` for a single-label family."""
+    if family is None:
+        return {}
+    out = {}
+    for sample_name, labels, value in family.samples:
+        if sample_name == family.name and label in labels:
+            out[labels[label]] = out.get(labels[label], 0.0) + value
+    return out
+
+
+class Snapshot:
+    """One parsed scrape, reduced to the numbers the dashboard shows."""
+
+    def __init__(self, text, when=None):
+        families = parse_prometheus_text(text)
+        self.when = time.monotonic() if when is None else when
+        get = families.get
+        self.requests = _family_total(get("repro_http_requests_total"))
+        self.cycles = _family_total(get("repro_simulated_cycles_total"))
+        self.simulations = _family_total(get("repro_simulations_total"))
+        self.points = _family_total(get("repro_points_completed_total"))
+        self.cache = _labeled(get("repro_cache_lookups_total"), "outcome")
+        self.inflight = _family_total(get("repro_jobs_inflight"))
+        self.jobs = {}
+        jobs_total = get("repro_jobs_total")
+        if jobs_total is not None:
+            for sample_name, labels, value in jobs_total.samples:
+                if sample_name == jobs_total.name:
+                    event = labels.get("event", "?")
+                    self.jobs[event] = self.jobs.get(event, 0.0) + value
+        self.pool_configured = _family_total(
+            get("repro_pool_workers_configured"))
+        self.pool_live = _family_total(get("repro_pool_workers_live"))
+        self.pool_respawned = _family_total(
+            get("repro_pool_workers_respawned"))
+        self.pool_retries = _family_total(
+            get("repro_pool_retries_performed"))
+        self.uptime = _family_total(get("repro_uptime_seconds"))
+        self.slo_healthy = _family_total(get("repro_slo_healthy"))
+        self.slo_p99 = _family_total(get("repro_slo_job_p99_seconds"))
+        self.slo_rows = []
+        slo_ok = get("repro_slo_ok")
+        slo_cps = get("repro_slo_cycles_per_second")
+        slo_floor = get("repro_slo_cycles_per_second_floor")
+        if slo_ok is not None:
+            for sample_name, labels, value in slo_ok.samples:
+                if sample_name != slo_ok.name:
+                    continue
+                key = {"workload": labels.get("workload", "?"),
+                       "engine": labels.get("engine", "-")}
+                self.slo_rows.append({
+                    **key,
+                    "ok": value >= 1,
+                    "cps": slo_cps.value(key) if slo_cps else None,
+                    "floor": slo_floor.value(key) if slo_floor else None,
+                })
+        self.slo_rows.sort(key=lambda r: (r["workload"], r["engine"]))
+
+
+def _rate(now, before, attr):
+    if before is None:
+        return None
+    dt = now.when - before.when
+    if dt <= 0:
+        return None
+    return (getattr(now, attr) - getattr(before, attr)) / dt
+
+
+def _fmt_rate(value, unit="/s"):
+    if value is None:
+        return "   --  "
+    if value >= 1e6:
+        return "%6.1fM%s" % (value / 1e6, unit)
+    if value >= 1e3:
+        return "%6.1fk%s" % (value / 1e3, unit)
+    return "%6.1f%s" % (value, unit)
+
+
+def render_frame(now, before=None):
+    """One dashboard frame (a plain string) from scrape snapshots."""
+    lines = []
+    hits = now.cache.get("hit", 0.0)
+    lookups = sum(now.cache.values())
+    ratio = (hits / lookups * 100.0) if lookups else 0.0
+    lines.append(
+        "repro top — uptime %6.0fs   requests %6d (%s)   SLO %s"
+        % (now.uptime, now.requests,
+           _fmt_rate(_rate(now, before, "requests"), " req/s").strip(),
+           "HEALTHY" if now.slo_healthy >= 1 else "VIOLATED"))
+    lines.append(
+        "throughput   %s simulated cycles   %d sims, %d sweep points"
+        % (_fmt_rate(_rate(now, before, "cycles"), " cyc/s").strip(),
+           now.simulations, now.points))
+    lines.append(
+        "cache        %5.1f%% hit ratio   %d hits / %d misses / %d "
+        "quarantined"
+        % (ratio, hits, now.cache.get("miss", 0.0),
+           now.cache.get("corrupt", 0.0)))
+    lines.append(
+        "jobs         %d in flight   %d done / %d failed / %d deduped "
+        "/ %d cached"
+        % (now.inflight, now.jobs.get("done", 0.0),
+           now.jobs.get("failed", 0.0), now.jobs.get("deduped", 0.0),
+           now.jobs.get("cached", 0.0)))
+    lines.append(
+        "workers      %d/%d live   %d respawned, %d task retries"
+        % (now.pool_live, now.pool_configured, now.pool_respawned,
+           now.pool_retries))
+    lines.append("job p99      %.3fs" % now.slo_p99)
+    if now.slo_rows:
+        lines.append("slo          workload             engine       "
+                     "cyc/s        floor   status")
+        for row in now.slo_rows:
+            lines.append(
+                "             %-20s %-10s %9s  %11s   %s"
+                % (row["workload"], row["engine"],
+                   "%.0f" % row["cps"] if row["cps"] else "-",
+                   "%.0f" % row["floor"] if row["floor"] else "-",
+                   "ok" if row["ok"] else "FAIL"))
+    return "\n".join(lines)
+
+
+def run_top(url, interval=2.0, iterations=None, out=None, clear=None):
+    """Poll ``/v1/metrics`` and redraw until interrupted.
+
+    `iterations` bounds the number of frames (``None`` = run until
+    Ctrl-C); `clear` forces/suppresses the ANSI clear-home prefix
+    (default: only when `out` is a TTY).  Returns the number of frames
+    drawn, so the CLI can exit nonzero when the daemon was unreachable
+    from the start.
+    """
+    import sys
+
+    out = out or sys.stdout
+    if clear is None:
+        clear = bool(getattr(out, "isatty", lambda: False)())
+    client = Client(url)
+    before = None
+    frames = 0
+    attempts = 0
+    try:
+        while iterations is None or attempts < iterations:
+            attempts += 1
+            try:
+                snapshot = Snapshot(client.metrics())
+            except (OSError, ValueError) as exc:
+                message = "repro top: cannot scrape %s: %s" % (url, exc)
+                print((_CLEAR if clear else "") + message, file=out,
+                      flush=True)
+            else:
+                frame = render_frame(snapshot, before)
+                print((_CLEAR if clear else "") + frame, file=out,
+                      flush=True)
+                before = snapshot
+                frames += 1
+            if iterations is not None and attempts >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return frames

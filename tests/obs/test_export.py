@@ -172,6 +172,51 @@ class TestMetricsJson:
             })
 
 
+class TestNetworkInvariant:
+    """validate_metrics enforces network flow conservation per scope."""
+
+    def _payload(self, injected, delivered, combined):
+        return {
+            "schema": METRICS_SCHEMA,
+            "scopes": [{"counters": {
+                "sim.network.injected": injected,
+                "sim.network.delivered": delivered,
+                "sim.network.combined_in_flight": combined,
+            }}],
+        }
+
+    def test_conserved_counters_pass(self):
+        validate_metrics(self._payload(141, 127, 14))
+
+    def test_violated_conservation_fails(self):
+        with pytest.raises(ValueError, match="flow conservation"):
+            validate_metrics(self._payload(141, 127, 13))
+
+    def test_scopes_without_network_counters_are_exempt(self):
+        validate_metrics({"schema": METRICS_SCHEMA,
+                          "scopes": [{"counters": {"sim.cycles": 5}}]})
+
+    def test_real_multinode_run_satisfies_the_invariant(self, rng,
+                                                        tmp_path):
+        from repro.config import MachineConfig, NetworkConfig
+
+        config = MachineConfig.table1().with_changes(
+            network=NetworkConfig(nodes=4, topology="tree", tree_radix=2,
+                                  combine_site="both"))
+        with observe() as observation:
+            Simulation(config).run("scatter_add",
+                                   rng.integers(0, 64, size=200), 1.0,
+                                   num_targets=64)
+        payload = write_metrics(tmp_path / "metrics.json", observation)
+        validate_metrics(payload)
+        counters = next(
+            scope["counters"] for scope in payload["scopes"]
+            if "sim.network.injected" in scope["counters"])
+        assert counters["sim.network.injected"] == (
+            counters["sim.network.delivered"]
+            + counters["sim.network.combined_in_flight"])
+
+
 class TestValidatorCli:
     def test_ok_files(self, traced_run, tmp_path, capsys):
         trace = tmp_path / "out.trace.json"

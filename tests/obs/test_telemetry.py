@@ -1,0 +1,244 @@
+"""Process-level telemetry: labeled families, exposition, validation.
+
+The contract under test is the scrape loop the service depends on:
+whatever a :class:`~repro.obs.telemetry.TelemetryRegistry` renders must
+survive :func:`~repro.obs.telemetry.parse_prometheus_text` and
+:func:`~repro.obs.telemetry.validate_prometheus_text` bit-for-bit --
+including awkward label values -- and the validator must reject the
+specific malformations a hand-rolled exporter is most likely to produce
+(missing # TYPE, duplicate series, non-cumulative buckets).
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram
+from repro.obs.telemetry import (
+    CounterFamily,
+    TelemetryRegistry,
+    TimeHistogram,
+    parse_prometheus_text,
+    render_prometheus,
+    validate_prometheus_text,
+)
+
+
+class TestFamilies:
+    def test_counter_children_are_stock_counters(self):
+        family = CounterFamily("repro_things_total", "things", ("kind",))
+        child = family.labels(kind="widget")
+        assert isinstance(child, Counter)
+        child.inc()
+        child.inc(4)
+        assert family.labels(kind="widget").value == 5
+        assert family.labels(kind="gadget").value == 0
+
+    def test_labels_must_match_declaration(self):
+        registry = TelemetryRegistry()
+        family = registry.counter("repro_x_total", "x", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            family.labels(a="1")
+        with pytest.raises(ValueError):
+            family.labels(a="1", b="2", c="3")
+        with pytest.raises(ValueError):
+            family.inc()  # labeled family has no default child
+
+    def test_unlabeled_family_has_direct_handles(self):
+        registry = TelemetryRegistry()
+        counter = registry.counter("repro_plain_total", "plain")
+        counter.inc(3)
+        assert counter.value == 3
+        gauge = registry.gauge("repro_level", "level")
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_invalid_names_rejected(self):
+        registry = TelemetryRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad", "x")
+        with pytest.raises(ValueError):
+            registry.counter("repro_ok_total", "x", labels=("bad-label",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_ok_total", "x", labels=("__reserved",))
+
+    def test_reregistration_must_agree(self):
+        registry = TelemetryRegistry()
+        registry.counter("repro_a_total", "a", labels=("x",))
+        again = registry.counter("repro_a_total", "a", labels=("x",))
+        assert again is registry.counter("repro_a_total", "a",
+                                         labels=("x",))
+        with pytest.raises(ValueError):
+            registry.gauge("repro_a_total", "a")
+        with pytest.raises(ValueError):
+            registry.counter("repro_a_total", "a", labels=("y",))
+
+    def test_histogram_children_share_buckets(self):
+        registry = TelemetryRegistry()
+        family = registry.histogram("repro_lat_seconds", "lat",
+                                    labels=("op",), buckets=(0.1, 1.0))
+        fast = family.labels(op="fast")
+        slow = family.labels(op="slow")
+        assert isinstance(fast, Histogram)
+        assert fast.edges == slow.edges == (0.1, 1.0)
+
+    def test_time_histogram_observes_elapsed_monotonic(self):
+        histogram = TimeHistogram("t", (0.5, 10.0))
+        started = TimeHistogram.start()
+        elapsed = histogram.observe_since(started)
+        assert elapsed >= 0
+        assert histogram.total == 1
+        assert histogram.sum == pytest.approx(elapsed)
+
+
+class TestExpositionRoundTrip:
+    def _registry(self):
+        registry = TelemetryRegistry()
+        requests = registry.counter("repro_requests_total", "requests",
+                                    labels=("endpoint", "status"))
+        requests.labels(endpoint="jobs", status="200").inc(3)
+        requests.labels(endpoint="stats", status="404").inc()
+        registry.gauge("repro_uptime_seconds", "uptime").set(12.5)
+        latency = registry.histogram("repro_latency_seconds", "latency",
+                                     labels=("endpoint",),
+                                     buckets=(0.01, 0.1, 1.0))
+        child = latency.labels(endpoint="jobs")
+        for value in (0.005, 0.05, 0.5, 5.0):
+            child.observe(value)
+        return registry
+
+    def test_render_parses_and_validates(self):
+        text = self._registry().render()
+        families = validate_prometheus_text(text)
+        assert set(families) == {"repro_requests_total",
+                                 "repro_uptime_seconds",
+                                 "repro_latency_seconds"}
+        requests = families["repro_requests_total"]
+        assert requests.kind == "counter"
+        assert requests.value({"endpoint": "jobs", "status": "200"}) == 3
+        assert families["repro_uptime_seconds"].value({}) == 12.5
+
+    def test_histogram_series_are_cumulative_with_inf(self):
+        text = self._registry().render()
+        family = validate_prometheus_text(text)["repro_latency_seconds"]
+        label = {"endpoint": "jobs"}
+        assert family.value({**label, "le": "0.01"},
+                            suffix="_bucket") == 1
+        assert family.value({**label, "le": "0.1"}, suffix="_bucket") == 2
+        assert family.value({**label, "le": "1"}, suffix="_bucket") == 3
+        assert family.value({**label, "le": "+Inf"},
+                            suffix="_bucket") == 4
+        assert family.value(label, suffix="_count") == 4
+        assert family.value(label, suffix="_sum") == pytest.approx(5.555)
+
+    def test_label_values_escape_round_trip(self):
+        registry = TelemetryRegistry()
+        family = registry.counter("repro_paths_total", "paths",
+                                  labels=("path",))
+        nasty = 'a"b\\c\nd'
+        family.labels(path=nasty).inc()
+        families = validate_prometheus_text(registry.render())
+        assert families["repro_paths_total"].value({"path": nasty}) == 1
+
+    def test_collectors_run_at_render_time(self):
+        registry = TelemetryRegistry()
+        gauge = registry.gauge("repro_depth", "depth")
+        source = {"depth": 0}
+        registry.register_collector(lambda: gauge.set(source["depth"]))
+        source["depth"] = 9
+        families = parse_prometheus_text(registry.render())
+        assert families["repro_depth"].value({}) == 9
+
+    def test_snapshot_matches_rendered_values(self):
+        registry = self._registry()
+        snapshot = registry.snapshot()
+        assert snapshot["repro_requests_total"]["type"] == "counter"
+        assert snapshot["repro_requests_total"]["series"][
+            "endpoint=jobs,status=200"] == 3
+
+
+class TestValidator:
+    def test_missing_type_header_rejected(self):
+        with pytest.raises(ValueError, match="precedes its # TYPE"):
+            validate_prometheus_text("repro_orphan_total 1\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            validate_prometheus_text("# TYPE repro_x summary\n")
+
+    def test_duplicate_series_rejected(self):
+        text = ("# TYPE repro_x_total counter\n"
+                "repro_x_total{a=\"1\"} 1\n"
+                "repro_x_total{a=\"1\"} 2\n")
+        with pytest.raises(ValueError, match="duplicate series"):
+            validate_prometheus_text(text)
+
+    def test_negative_counter_rejected(self):
+        text = "# TYPE repro_x_total counter\nrepro_x_total -1\n"
+        with pytest.raises(ValueError, match="invalid value"):
+            validate_prometheus_text(text)
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = ("# TYPE repro_h histogram\n"
+                "repro_h_bucket{le=\"0.1\"} 5\n"
+                "repro_h_bucket{le=\"1\"} 3\n"
+                "repro_h_bucket{le=\"+Inf\"} 5\n"
+                "repro_h_sum 1.0\n"
+                "repro_h_count 5\n")
+        with pytest.raises(ValueError, match="not.*cumulative|cumulative"):
+            validate_prometheus_text(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = ("# TYPE repro_h histogram\n"
+                "repro_h_bucket{le=\"0.1\"} 1\n"
+                "repro_h_sum 0.05\n"
+                "repro_h_count 1\n")
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_prometheus_text(text)
+
+    def test_count_must_equal_inf_bucket(self):
+        text = ("# TYPE repro_h histogram\n"
+                "repro_h_bucket{le=\"+Inf\"} 4\n"
+                "repro_h_sum 1.0\n"
+                "repro_h_count 3\n")
+        with pytest.raises(ValueError, match="_count"):
+            validate_prometheus_text(text)
+
+    def test_malformed_label_block_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE repro_x counter\n"
+                                  "repro_x{a=unquoted} 1\n")
+
+    def test_type_after_samples_rejected(self):
+        text = ("# TYPE repro_x counter\n"
+                "repro_x 1\n"
+                "# TYPE repro_x counter\n")
+        with pytest.raises(ValueError, match="after its samples"):
+            parse_prometheus_text(text)
+
+    def test_special_values_parse(self):
+        text = ("# TYPE repro_g gauge\n"
+                "repro_g{k=\"inf\"} +Inf\n"
+                "repro_g{k=\"nan\"} NaN\n")
+        family = parse_prometheus_text(text)["repro_g"]
+        assert family.value({"k": "inf"}) == float("inf")
+        assert math.isnan(family.value({"k": "nan"}))
+
+
+class TestValidateFileDispatch:
+    def test_prometheus_file_detected_and_validated(self, tmp_path):
+        from repro.obs.validate import validate_file
+
+        registry = TelemetryRegistry()
+        registry.counter("repro_ok_total", "ok").inc()
+        path = tmp_path / "metrics.prom"
+        path.write_text(registry.render())
+        assert validate_file(str(path)) == "prometheus"
+
+    def test_bad_prometheus_file_fails(self, tmp_path):
+        from repro.obs.validate import validate_file
+
+        path = tmp_path / "bad.prom"
+        path.write_text("repro_orphan_total 1\n")
+        with pytest.raises(ValueError):
+            validate_file(str(path))

@@ -1,0 +1,503 @@
+"""Service telemetry: /v1/metrics, NDJSON logs, SLO gate, repro top.
+
+Three layers of contract:
+
+1. **Exposition** -- a live daemon's ``GET /v1/metrics`` passes the
+   strict validator and its counters agree with what the daemon just
+   did (request counts, cache outcomes, job lifecycle, pool gauges).
+2. **Observation-only** -- running the same job with and without
+   telemetry produces byte-identical result payloads and cache entries:
+   metering must never perturb the simulation.
+3. **SLO** -- reference jobs classify to baseline workloads, floors
+   derive from ``cycles_per_second x fraction``, and ``repro slo
+   --check`` exits nonzero exactly when a floor or ceiling is violated.
+"""
+
+import asyncio
+import io
+import json
+import threading
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.obs.telemetry import validate_prometheus_text
+from repro.service.cache import ResultCache
+from repro.service.client import Client, ServiceError
+from repro.service.logs import JsonLogger, NullLogger
+from repro.service.schema import canonical_job, execute_job, job_key
+from repro.service.server import Server
+from repro.service.slo import (
+    SLOEvaluator,
+    histogram_job,
+    reference_jobs,
+    render_slo,
+)
+from repro.service.store import JobStore
+from repro.service.telemetry import ServiceTelemetry
+from repro.service.top import run_top
+
+
+def job_spec(**overrides):
+    spec = {
+        "type": "run",
+        "op": "scatter_add",
+        "indices": [1, 2, 2, 3],
+        "values": 1.0,
+        "num_targets": 5,
+        "sim": {"config": MachineConfig.uniform().to_dict()},
+    }
+    spec.update(overrides)
+    return spec
+
+
+def canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class _ServiceThread:
+    """The asyncio server on an ephemeral port in a background thread."""
+
+    def __init__(self, cache_dir, **server_kwargs):
+        self.server = Server(cache_dir, workers=0, **server_kwargs)
+        self.loop = asyncio.new_event_loop()
+        self.port = None
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread never became ready")
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+
+        async def bind():
+            _, self.port = await self.server.start("127.0.0.1", 0)
+            self._ready.set()
+
+        self.loop.run_until_complete(bind())
+        self.loop.run_forever()
+
+    def client(self):
+        client = Client("http://127.0.0.1:%d" % self.port, timeout=60)
+        client.wait_ready(timeout=30)
+        return client
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(self.server.close(),
+                                         self.loop).result(timeout=10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture
+def service(tmp_path):
+    thread = _ServiceThread(tmp_path / "cache")
+    yield thread.client()
+    thread.stop()
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_validator_clean_and_consistent(self, service):
+        first = service.submit(job_spec())
+        second = service.submit(job_spec())
+        assert second["cached"]
+        run = first["result"]["run"]
+
+        families = validate_prometheus_text(service.metrics())
+        assert families["repro_http_requests_total"].value(
+            {"endpoint": "jobs", "method": "POST", "status": "200"}) == 2
+        assert families["repro_http_request_seconds"].value(
+            {"endpoint": "jobs"}, suffix="_count") == 2
+        assert families["repro_cache_lookups_total"].value(
+            {"outcome": "miss"}) == 1
+        assert families["repro_cache_lookups_total"].value(
+            {"outcome": "hit"}) == 1
+        assert families["repro_jobs_total"].value(
+            {"type": "run", "event": "submitted"}) == 2
+        assert families["repro_jobs_total"].value(
+            {"type": "run", "event": "done"}) == 2
+        assert families["repro_jobs_total"].value(
+            {"type": "run", "event": "cached"}) == 1
+        assert families["repro_simulations_total"].value({}) == 1
+        assert families["repro_simulated_cycles_total"].value(
+            {}) == run["cycles"]
+        assert families["repro_jobs_inflight"].value({}) == 0
+        assert families["repro_job_run_seconds"].value(
+            {}, suffix="_count") == 1
+        assert families["repro_job_queue_wait_seconds"].value(
+            {}, suffix="_count") == 1
+        assert families["repro_uptime_seconds"].value({}) > 0
+        assert families["repro_slo_healthy"].value({}) == 1
+
+    def test_request_counter_includes_error_statuses(self, service):
+        with pytest.raises(ServiceError):
+            service.status("j999999")
+        families = validate_prometheus_text(service.metrics())
+        assert families["repro_http_requests_total"].value(
+            {"endpoint": "job", "method": "GET", "status": "404"}) == 1
+
+    def test_stats_endpoint_shape_is_stable(self, service):
+        service.submit(job_spec())
+        stats = service.stats()
+        assert set(stats) == {"jobs", "uptime_seconds", "cache", "pool",
+                              "jobs_submitted", "jobs_deduped",
+                              "simulations", "simulated_cycles",
+                              "points_completed"}
+        assert set(stats["cache"]) == {"hits", "misses", "corrupt",
+                                       "entries"}
+        assert set(stats["pool"]) == {"workers", "retries_performed",
+                                      "workers_respawned"}
+        assert stats["jobs"] == 1 and stats["cache"]["entries"] == 1
+
+
+class TestObservationOnly:
+    def test_result_payload_bit_identical_with_telemetry(self, tmp_path):
+        """Telemetry must never perturb simulation results."""
+        spec = canonical_job(job_spec(sim={
+            "config": MachineConfig.uniform().to_dict(),
+            "sample_every": 16,
+        }))
+        direct = execute_job(spec)
+
+        async def main():
+            server = Server(tmp_path / "cache", workers=0,
+                            log_path=str(tmp_path / "jobs.ndjson"))
+            try:
+                return await server.submit(spec)
+            finally:
+                await server.close()
+
+        served = asyncio.run(main())
+        assert canonical(served["result"]["run"]) == canonical(direct)
+
+    def test_cache_entry_bytes_identical_with_telemetry(self, tmp_path):
+        """On-disk cache entries don't change when telemetry is attached."""
+        spec = canonical_job(job_spec())
+        key = job_key(spec)
+        payload = execute_job(spec)
+        plain = ResultCache(tmp_path / "plain")
+        metered = ResultCache(tmp_path / "metered",
+                              telemetry=ServiceTelemetry())
+        path_plain = plain.put(key, spec, payload)
+        path_metered = metered.put(key, spec, payload)
+        with open(path_plain, "rb") as a, open(path_metered, "rb") as b:
+            assert a.read() == b.read()
+
+
+class TestCacheTelemetry:
+    def test_lookup_outcomes_mirror_to_labeled_counter(self, tmp_path):
+        telemetry = ServiceTelemetry()
+        cache = ResultCache(tmp_path / "cache", telemetry=telemetry)
+        spec = canonical_job(job_spec())
+        key = job_key(spec)
+
+        assert cache.get(key) is None                       # miss
+        cache.put(key, spec, {"cycles": 1})
+        assert cache.get(key) == {"cycles": 1}              # hit
+        with open(cache.path(key), "w") as handle:
+            handle.write("{truncated")
+        assert cache.get(key) is None                       # corrupt
+
+        values = {
+            outcome: telemetry.cache_lookups.labels(
+                outcome=outcome).value
+            for outcome in ("hit", "miss", "corrupt")}
+        # One outcome per lookup: the quarantined entry is 'corrupt',
+        # NOT also 'miss' (unlike the legacy stats() counters, which
+        # keep their historical miss+corrupt double-count).
+        assert values == {"hit": 1, "miss": 1, "corrupt": 1}
+        assert cache.stats() == {"hits": 1, "misses": 2, "corrupt": 1}
+
+    def test_quarantine_deletes_the_corrupt_entry(self, tmp_path):
+        telemetry = ServiceTelemetry()
+        cache = ResultCache(tmp_path / "cache", telemetry=telemetry)
+        spec = canonical_job(job_spec())
+        key = job_key(spec)
+        cache.put(key, spec, {"cycles": 1})
+        with open(cache.path(key), "w") as handle:
+            json.dump({"schema": "wrong/0", "key": key,
+                       "payload": {}}, handle)
+        assert cache.get(key) is None
+        assert key not in cache
+        assert telemetry.cache_lookups.labels(outcome="corrupt").value == 1
+
+
+class TestTelemetryHooks:
+    def test_failed_job_counts_and_settles_exactly_once(self):
+        telemetry = ServiceTelemetry()
+        store = JobStore(telemetry=telemetry)
+        spec = canonical_job(job_spec())
+
+        async def main():
+            job = store.create(job_key(spec), spec)
+            job.mark_running()
+            telemetry.job_started(job)
+            await job.finish(error="RuntimeError: boom")
+            store.settle(job)
+            store.settle(job)  # double settle must not double count
+
+        asyncio.run(main())
+        jobs = telemetry.jobs_total
+        assert jobs.labels(type="run", event="submitted").value == 1
+        assert jobs.labels(type="run", event="failed").value == 1
+        assert jobs.labels(type="run", event="done").value == 0
+        families = validate_prometheus_text(telemetry.render())
+        assert families["repro_jobs_inflight"].value({}) == 0
+        assert families["repro_job_run_seconds"].value(
+            {}, suffix="_count") == 1
+
+    def test_slo_receives_job_latency_from_settlement(self):
+        slo = SLOEvaluator()
+        telemetry = ServiceTelemetry(slo=slo)
+        store = JobStore(telemetry=telemetry)
+        spec = canonical_job(job_spec())
+
+        async def main():
+            job = store.create(job_key(spec), spec)
+            job.mark_running()
+            await job.finish(result={"kind": "run"})
+            store.settle(job)
+
+        asyncio.run(main())
+        latency = slo.evaluate()["job_latency"]
+        assert latency["jobs_observed"] == 1
+        assert latency["p99_seconds"] >= 0
+
+
+class TestJsonLogger:
+    def test_lines_are_sorted_canonical_ndjson(self, tmp_path):
+        path = tmp_path / "log" / "out.ndjson"
+        logger = JsonLogger(path)
+        record = logger.log("access", status=200, method="GET")
+        logger.log("job", phase="done", job_id="j1")
+        logger.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "access" and first["status"] == 200
+        assert "ts" in first and first["ts"] == record["ts"]
+        # keys sorted -> identical events are byte-identical lines
+        assert lines[0] == json.dumps(json.loads(lines[0]),
+                                      sort_keys=True,
+                                      separators=(",", ":"))
+
+    def test_never_written_logger_leaves_no_file(self, tmp_path):
+        path = tmp_path / "never.ndjson"
+        logger = JsonLogger(path)
+        logger.close()
+        assert not path.exists()
+
+    def test_null_logger_is_inert(self):
+        logger = NullLogger()
+        assert logger.log("access", status=200) is None
+        logger.close()
+
+    def test_daemon_writes_access_and_job_records(self, tmp_path):
+        log_path = tmp_path / "daemon.ndjson"
+        thread = _ServiceThread(tmp_path / "cache",
+                                log_path=str(log_path))
+        try:
+            client = thread.client()
+            client.submit(job_spec())
+            client.metrics()
+        finally:
+            thread.stop()
+        lines = [json.loads(line)
+                 for line in log_path.read_text().splitlines()]
+        events = {line["event"] for line in lines}
+        assert events == {"access", "job"}
+        phases = [line["phase"] for line in lines
+                  if line["event"] == "job"]
+        assert phases == ["submitted", "started", "done"]
+        done = [line for line in lines
+                if line["event"] == "job" and line["phase"] == "done"][0]
+        assert done["cached"] is False and done["seconds"] >= 0
+        endpoints = {line["endpoint"] for line in lines
+                     if line["event"] == "access"}
+        assert {"jobs", "metrics"} <= endpoints
+
+
+def _baseline(cps):
+    """A minimal repro.bench/2 baseline giving every engine `cps`."""
+    from repro.cli import BENCH_SCHEMA
+    from repro.sim.engine import SCHEDULERS
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "engines": list(SCHEDULERS),
+        "workloads": {
+            "histogram": {engine: {"cycles_per_second": cps}
+                          for engine in SCHEDULERS},
+            "fig11_latency256": {engine: {"cycles_per_second": cps}
+                                 for engine in SCHEDULERS},
+        },
+    }
+
+
+class TestSLOEvaluator:
+    def test_reference_jobs_classify_by_content_key(self):
+        evaluator = SLOEvaluator()
+        for workload, engine, key, _job in reference_jobs():
+            assert evaluator.classify(key) == (workload, engine)
+        assert evaluator.classify("0" * 64) == ("other", "")
+
+    def test_floors_derive_from_baseline_times_fraction(self):
+        evaluator = SLOEvaluator(baseline=_baseline(1000.0),
+                                 throughput_fraction=0.1)
+        _, _, key, _job = reference_jobs()[0]
+        evaluator.record_simulation(key, cycles=50, seconds=1.0)
+        report = evaluator.evaluate()
+        row = next(r for r in report["workloads"] if r["samples"])
+        assert row["floor_cycles_per_second"] == pytest.approx(100.0)
+        assert row["observed_cycles_per_second"] == pytest.approx(50.0)
+        assert not row["ok"] and not report["ok"]
+        assert any("below the" in v for v in report["violations"])
+
+    def test_meeting_the_floor_is_ok(self):
+        evaluator = SLOEvaluator(baseline=_baseline(1000.0),
+                                 throughput_fraction=0.1)
+        _, _, key, _job = reference_jobs()[0]
+        evaluator.record_simulation(key, cycles=500, seconds=1.0)
+        assert evaluator.evaluate()["ok"]
+
+    def test_unmatched_jobs_observe_under_other_without_floor(self):
+        evaluator = SLOEvaluator(baseline=_baseline(1e12))
+        evaluator.record_simulation("f" * 64, cycles=10, seconds=1.0)
+        report = evaluator.evaluate()
+        other = next(r for r in report["workloads"]
+                     if r["workload"] == "other")
+        assert other["floor_cycles_per_second"] is None and other["ok"]
+
+    def test_floorless_evaluator_never_violates(self):
+        evaluator = SLOEvaluator()
+        evaluator.record_simulation("a" * 64, cycles=1, seconds=100.0)
+        evaluator.record_job_seconds(9999.0)
+        assert evaluator.evaluate()["ok"]
+
+    def test_negative_throughput_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SLOEvaluator(throughput_fraction=-0.1)
+
+    def test_p99_nearest_rank_and_ceiling(self):
+        evaluator = SLOEvaluator(p99_ceiling_seconds=0.5)
+        for index in range(100):
+            evaluator.record_job_seconds(index / 100.0)
+        assert evaluator.p99_job_seconds() == pytest.approx(0.98)
+        report = evaluator.evaluate()
+        assert not report["job_latency"]["ok"] and not report["ok"]
+        evaluator = SLOEvaluator(p99_ceiling_seconds=2.0)
+        evaluator.record_job_seconds(0.1)
+        assert evaluator.evaluate()["ok"]
+
+    def test_from_baseline_file_tolerates_missing_file(self, tmp_path):
+        evaluator = SLOEvaluator.from_baseline_file(
+            str(tmp_path / "nope.json"))
+        assert evaluator.evaluate()["baseline_schema"] is None
+        evaluator = SLOEvaluator.from_baseline_file(None)
+        assert evaluator.evaluate()["ok"]
+
+    def test_from_real_baseline_file_installs_floors(self):
+        evaluator = SLOEvaluator.from_baseline_file(
+            "benchmarks/baseline.json")
+        report = evaluator.evaluate()
+        floors = [row for row in report["workloads"]
+                  if row["floor_cycles_per_second"]]
+        assert floors, "shipped baseline must yield at least one floor"
+        assert report["ok"], "no observations -> nothing can violate"
+
+    def test_render_slo_is_humane(self):
+        evaluator = SLOEvaluator(baseline=_baseline(1000.0))
+        text = render_slo(evaluator.evaluate())
+        assert "SLO status: OK" in text
+        assert "histogram" in text
+
+    def test_rolling_window_evicts_old_samples(self):
+        evaluator = SLOEvaluator(window=4)
+        for _ in range(10):
+            evaluator.record_simulation("a" * 64, 100, 1.0)
+        report = evaluator.evaluate()
+        other = next(r for r in report["workloads"]
+                     if r["workload"] == "other")
+        assert other["samples"] == 4
+
+
+class TestSLOEndToEnd:
+    def _serve(self, tmp_path, slo):
+        thread = _ServiceThread(tmp_path / "cache", slo=slo)
+        return thread, thread.client()
+
+    def test_slo_endpoint_and_gauges_reflect_violation(self, tmp_path):
+        # An absurd baseline floor no real simulation can sustain.
+        thread, client = self._serve(
+            tmp_path, SLOEvaluator(baseline=_baseline(1e15)))
+        try:
+            client.submit(histogram_job("event"))
+            payload = client.slo()
+            assert payload["schema"] == "repro.slo/1"
+            assert not payload["ok"] and payload["violations"]
+            families = validate_prometheus_text(client.metrics())
+            assert families["repro_slo_healthy"].value({}) == 0
+            assert families["repro_slo_ok"].value(
+                {"workload": "histogram", "engine": "event"}) == 0
+            assert families["repro_slo_cycles_per_second"].value(
+                {"workload": "histogram", "engine": "event"}) > 0
+            assert families["repro_slo_cycles_per_second_floor"].value(
+                {"workload": "histogram", "engine": "event"}) > 0
+        finally:
+            thread.stop()
+
+    def test_slo_cli_check_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        thread, client = self._serve(
+            tmp_path, SLOEvaluator(baseline=_baseline(1e15)))
+        try:
+            url = "http://127.0.0.1:%d" % thread.port
+            assert cli_main(["slo", "--server", url]) == 0
+            client.submit(histogram_job("event"))
+            assert cli_main(["slo", "--check", "--server", url]) == 1
+            out = capsys.readouterr().out
+            assert "VIOLATED" in out
+            assert cli_main(["slo", "--json", "--server", url]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["schema"] == "repro.slo/1"
+        finally:
+            thread.stop()
+        assert cli_main(["slo", "--check", "--server",
+                         "http://127.0.0.1:1"]) == 2
+
+
+class TestTopDashboard:
+    def test_renders_live_frames_from_scrapes(self, tmp_path):
+        thread = _ServiceThread(tmp_path / "cache")
+        try:
+            client = thread.client()
+            client.submit(job_spec())
+            client.submit(job_spec())
+            out = io.StringIO()
+            frames = run_top("http://127.0.0.1:%d" % thread.port,
+                             interval=0.05, iterations=2, out=out,
+                             clear=False)
+        finally:
+            thread.stop()
+        assert frames == 2
+        text = out.getvalue()
+        assert "repro top" in text
+        assert "SLO HEALTHY" in text
+        assert "50.0% hit ratio" in text
+        assert "2 done" in text
+
+    def test_unreachable_daemon_counts_zero_frames(self):
+        out = io.StringIO()
+        frames = run_top("http://127.0.0.1:1", interval=0.01,
+                         iterations=2, out=out, clear=False)
+        assert frames == 0
+        assert "cannot scrape" in out.getvalue()
+
+    def test_cli_top_exits_nonzero_when_unreachable(self):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["top", "--server", "http://127.0.0.1:1",
+                         "--iterations", "1", "--no-clear"]) == 1
